@@ -1,0 +1,157 @@
+// Command paris-traceroute traces routes through a simulated scenario with
+// any of the probing disciplines the paper discusses, printing classic
+// traceroute-style output extended with the Paris observables (probe TTL,
+// response TTL, IP ID).
+//
+// Usage:
+//
+//	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-seed N]
+//
+// Scenarios: fig1, fig3, fig4, fig5, fig6, random.
+// Methods: paris-udp, paris-icmp, paris-tcp, classic-udp, classic-icmp,
+// tcptraceroute.
+//
+// With -flows N > 1, the tool runs the paper's future-work multipath
+// enumeration: one Paris trace per flow, reporting every interface of each
+// load balancer and every distinct path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+func main() {
+	scenario := flag.String("scenario", "fig3", "topology: fig1, fig3, fig4, fig5, fig6, random")
+	method := flag.String("method", "paris-udp", "probing method")
+	flows := flag.Int("flows", 1, "number of flows (>1 enables multipath enumeration)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	net, dest, err := buildScenario(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+		os.Exit(2)
+	}
+	tp := netsim.NewTransport(net)
+
+	if *flows > 1 {
+		enumerate(tp, dest, *flows)
+		return
+	}
+
+	tr, err := buildTracer(*method, tp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+		os.Exit(2)
+	}
+	rt, err := tr.Trace(dest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s to %s, %d hops max\n", tr.Name(), dest, 30)
+	for _, h := range rt.Hops {
+		if h.Star() {
+			fmt.Printf("%2d  *\n", h.TTL)
+			continue
+		}
+		extra := ""
+		if h.ProbeTTL >= 0 && h.ProbeTTL != 1 {
+			extra += fmt.Sprintf("  probe-ttl=%d!", h.ProbeTTL)
+		}
+		fmt.Printf("%2d  %-15s  %7.3f ms  resp-ttl=%-3d ipid=%-5d%s%s\n",
+			h.TTL, h.Addr, float64(h.RTT.Microseconds())/1000, h.RespTTL, h.IPID,
+			flagStr(h), extra)
+	}
+	fmt.Printf("halt: %v\n", rt.Halt)
+}
+
+func flagStr(h tracer.Hop) string {
+	if f := h.Kind.Flag(); f != "" {
+		return "  " + f
+	}
+	return ""
+}
+
+func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
+	sess := core.NewSession(tp)
+	ps, err := sess.EnumeratePaths(dest, flows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("multipath enumeration to %s over %d flows: %d distinct path(s)\n",
+		dest, flows, ps.Distinct())
+	for i, addrs := range ps.InterfacesPerHop {
+		if len(addrs) <= 1 {
+			continue
+		}
+		fmt.Printf("hop %2d: %d interfaces:", i+1, len(addrs))
+		for _, a := range addrs {
+			fmt.Printf(" %s", a)
+		}
+		fmt.Println()
+	}
+	kind, err := sess.ClassifyBalancer(dest, flows, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("balancer classification: %v\n", kind)
+}
+
+func buildScenario(name string, seed int64) (*netsim.Network, netip.Addr, error) {
+	switch name {
+	case "fig1":
+		f := topo.BuildFigure1(seed, netsim.PerFlow)
+		return f.Net, f.Dest.Addr, nil
+	case "fig3":
+		f := topo.BuildFigure3(seed)
+		return f.Net, f.Dest.Addr, nil
+	case "fig4":
+		f := topo.BuildFigure4(seed)
+		return f.Net, f.Dest.Addr, nil
+	case "fig5":
+		f := topo.BuildFigure5(seed)
+		return f.Net, f.Dest.Addr, nil
+	case "fig6":
+		f := topo.BuildFigure6(seed, netsim.PerFlow)
+		return f.Net, f.Dest.Addr, nil
+	case "random":
+		cfg := topo.DefaultGenConfig()
+		cfg.Seed = seed
+		cfg.Destinations = 50
+		sc := topo.Generate(cfg)
+		return sc.Net, sc.Dests[0], nil
+	default:
+		return nil, netip.Addr{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func buildTracer(method string, tp tracer.Transport) (tracer.Tracer, error) {
+	opts := tracer.Options{}
+	switch method {
+	case "paris-udp":
+		return tracer.NewParisUDP(tp, opts), nil
+	case "paris-icmp":
+		return tracer.NewParisICMP(tp, opts), nil
+	case "paris-tcp":
+		return tracer.NewParisTCP(tp, opts), nil
+	case "classic-udp":
+		return tracer.NewClassicUDP(tp, opts), nil
+	case "classic-icmp":
+		return tracer.NewClassicICMP(tp, opts), nil
+	case "tcptraceroute":
+		return tracer.NewTCPTraceroute(tp, opts), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}

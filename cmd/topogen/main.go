@@ -1,0 +1,60 @@
+// Command topogen generates a random campaign topology and describes it:
+// gadget ground truth, router/interface counts, AS layout, and a sample of
+// destination routes as measured by a single Paris trace each.
+//
+// Usage:
+//
+//	topogen [-dests N] [-seed N] [-sample N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+func main() {
+	dests := flag.Int("dests", 200, "number of destinations")
+	seed := flag.Int64("seed", 42, "generator seed")
+	sample := flag.Int("sample", 5, "number of destination routes to print")
+	flag.Parse()
+
+	cfg := topo.DefaultGenConfig()
+	cfg.Seed = *seed
+	cfg.Destinations = *dests
+	sc := topo.Generate(cfg)
+
+	fmt.Printf("topology seed=%d destinations=%d\n", *seed, len(sc.Dests))
+	fmt.Printf("ground truth: %+v\n", sc.Truth)
+	fmt.Printf("AS table: %d prefixes\n\n", sc.AS.Len())
+
+	tp := netsim.NewTransport(sc.Net)
+	n := *sample
+	if n > len(sc.Dests) {
+		n = len(sc.Dests)
+	}
+	for i := 0; i < n; i++ {
+		d := sc.Dests[i]
+		tr := tracer.NewParisUDP(tp, tracer.Options{})
+		rt, err := tr.Trace(d)
+		if err != nil {
+			fmt.Printf("trace to %s: %v\n", d, err)
+			continue
+		}
+		fmt.Printf("route to %s (%d hops, halt=%v):\n", d, len(rt.Hops), rt.Halt)
+		for _, h := range rt.Hops {
+			asn := 0
+			if !h.Star() {
+				asn, _ = sc.AS.Lookup(h.Addr)
+			}
+			if h.Star() {
+				fmt.Printf("  %2d  *\n", h.TTL)
+			} else {
+				fmt.Printf("  %2d  %-15s  AS%d\n", h.TTL, h.Addr, asn)
+			}
+		}
+	}
+}

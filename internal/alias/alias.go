@@ -1,0 +1,165 @@
+// Package alias implements the IP-ID-based techniques Section 2.2 of the
+// paper borrows from prior work:
+//
+//   - Rocketfuel-style alias resolution: two addresses belong to the same
+//     router when interleaved probes draw responses whose IP Identification
+//     values come from one shared counter;
+//   - Bellovin-style NAT counting: responses sharing one source address but
+//     exhibiting several independent IP ID sequences reveal "different
+//     routers and hosts hidden behind a firewall or a NAT box".
+//
+// Both consume the IP ID observable that Paris traceroute reports for every
+// hop.
+package alias
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/tracer"
+)
+
+// Prober issues a direct UDP probe to one address and reports the response
+// IP ID. It is implemented over any tracer.Transport.
+type Prober struct {
+	tp  tracer.Transport
+	seq uint16
+}
+
+// NewProber creates a prober over tp.
+func NewProber(tp tracer.Transport) *Prober { return &Prober{tp: tp} }
+
+// Probe sends one high-port UDP probe directly to addr (TTL high enough to
+// reach it) and returns the IP ID of its Port Unreachable response.
+func (p *Prober) Probe(addr netip.Addr) (uint16, error) {
+	p.seq++
+	src := p.tp.Source()
+	dgram, err := packet.MarshalUDP(src, addr, &packet.UDP{
+		SrcPort: 31000, DstPort: 40000 + p.seq,
+	}, make([]byte, 4))
+	if err != nil {
+		return 0, fmt.Errorf("alias: %w", err)
+	}
+	probe, err := (&packet.IPv4{
+		TTL: 64, Protocol: packet.ProtoUDP, ID: p.seq, Src: src, Dst: addr,
+	}).Marshal(dgram)
+	if err != nil {
+		return 0, fmt.Errorf("alias: %w", err)
+	}
+	resp, _, ok := p.tp.Exchange(probe)
+	if !ok {
+		return 0, fmt.Errorf("alias: no response from %v", addr)
+	}
+	h, _, err := packet.ParseIPv4(resp)
+	if err != nil {
+		return 0, fmt.Errorf("alias: bad response from %v: %w", addr, err)
+	}
+	if h.Src != addr {
+		return 0, fmt.Errorf("alias: response from %v, probed %v", h.Src, addr)
+	}
+	return h.ID, nil
+}
+
+// SameRouter applies the Rocketfuel test to two addresses: probe them
+// alternately (a, b, a, b, ...) and accept when the merged IP ID sequence
+// is a single monotonically advancing counter with small gaps. rounds pairs
+// of probes are sent.
+func (p *Prober) SameRouter(a, b netip.Addr, rounds int) (bool, error) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	var ids []uint16
+	for i := 0; i < rounds; i++ {
+		ia, err := p.Probe(a)
+		if err != nil {
+			return false, err
+		}
+		ib, err := p.Probe(b)
+		if err != nil {
+			return false, err
+		}
+		ids = append(ids, ia, ib)
+	}
+	return counterCoherent(ids, 256), nil
+}
+
+// counterCoherent reports whether ids reads as one counter: strictly
+// advancing (mod 2^16) with per-step gaps at most maxGap.
+func counterCoherent(ids []uint16, maxGap uint16) bool {
+	for i := 1; i < len(ids); i++ {
+		delta := ids[i] - ids[i-1] // wraps mod 2^16
+		if delta == 0 || delta > maxGap {
+			return false
+		}
+	}
+	return len(ids) >= 2
+}
+
+// Sequence is one observed IP ID stream attributed to a hidden host.
+type Sequence struct {
+	IDs []uint16
+}
+
+// CountHostsBehind applies Bellovin's technique to a series of IP ID
+// samples that share one (rewritten) source address: it greedily partitions
+// the samples into the minimum number of coherent counter sequences, each
+// corresponding to one host behind the NAT.
+//
+// maxGap bounds the counter advance accepted between consecutive samples of
+// one host.
+func CountHostsBehind(ids []uint16, maxGap uint16) []Sequence {
+	var seqs []Sequence
+	for _, id := range ids {
+		placed := false
+		best := -1
+		var bestDelta uint16 = 0xffff
+		for i := range seqs {
+			last := seqs[i].IDs[len(seqs[i].IDs)-1]
+			delta := id - last
+			if delta > 0 && delta <= maxGap && delta < bestDelta {
+				best, bestDelta = i, delta
+				placed = true
+			}
+		}
+		if placed {
+			seqs[best].IDs = append(seqs[best].IDs, id)
+		} else {
+			seqs = append(seqs, Sequence{IDs: []uint16{id}})
+		}
+	}
+	return seqs
+}
+
+// HopSamples extracts, from a set of measured routes, the IP ID samples per
+// responding address in observation order — the input CountHostsBehind
+// needs when a NAT loop is suspected.
+func HopSamples(routes []*tracer.Route) map[netip.Addr][]uint16 {
+	out := make(map[netip.Addr][]uint16)
+	for _, rt := range routes {
+		for _, h := range rt.Hops {
+			if h.Star() {
+				continue
+			}
+			out[h.Addr] = append(out[h.Addr], h.IPID)
+		}
+	}
+	return out
+}
+
+// SuspectNATs lists addresses whose samples partition into at least
+// minHosts coherent sequences, sorted for determinism.
+func SuspectNATs(samples map[netip.Addr][]uint16, maxGap uint16, minHosts int) []netip.Addr {
+	var out []netip.Addr
+	for addr, ids := range samples {
+		if len(ids) < minHosts*2 {
+			continue
+		}
+		if len(CountHostsBehind(ids, maxGap)) >= minHosts {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

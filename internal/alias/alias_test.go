@@ -1,0 +1,149 @@
+package alias
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+func TestCounterCoherent(t *testing.T) {
+	if !counterCoherent([]uint16{10, 12, 15, 20}, 256) {
+		t.Error("coherent sequence rejected")
+	}
+	if counterCoherent([]uint16{10, 9}, 256) {
+		t.Error("backwards step accepted")
+	}
+	if counterCoherent([]uint16{10, 10}, 256) {
+		t.Error("stalled counter accepted")
+	}
+	if counterCoherent([]uint16{10, 5000}, 256) {
+		t.Error("oversized gap accepted")
+	}
+	if !counterCoherent([]uint16{0xfff0, 0x0010}, 256) {
+		t.Error("wraparound rejected")
+	}
+	if counterCoherent([]uint16{7}, 256) {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestCountHostsBehind(t *testing.T) {
+	// Two interleaved counters: 100,102,104 and 9000,9001,9002.
+	ids := []uint16{100, 9000, 102, 9001, 104, 9002}
+	seqs := CountHostsBehind(ids, 256)
+	if len(seqs) != 2 {
+		t.Fatalf("sequences = %d, want 2 (%+v)", len(seqs), seqs)
+	}
+	// One counter: one host.
+	one := CountHostsBehind([]uint16{5, 6, 8, 9}, 256)
+	if len(one) != 1 {
+		t.Fatalf("sequences = %d, want 1", len(one))
+	}
+	// Three far-apart counters.
+	three := CountHostsBehind([]uint16{1, 20000, 40000, 3, 20002, 40001}, 256)
+	if len(three) != 3 {
+		t.Fatalf("sequences = %d, want 3", len(three))
+	}
+}
+
+// fixture: chain where two probeable targets are interfaces of one router
+// (same IP ID counter) and a third belongs to another router.
+func aliasNet(t *testing.T) (*netsim.Network, netip.Addr, netip.Addr, netip.Addr) {
+	t.Helper()
+	b := topo.NewBuilder(3)
+	chain := b.Chain(b.Gateway, 2)
+	r := chain[1]
+	// Give r a second interface, routable via the chain.
+	second := netip.AddrFrom4([4]byte{10, 7, 7, 7})
+	b.Net.AddIface(r, second)
+	for _, router := range []*netsim.Router{b.Gateway, chain[0]} {
+		for _, dst := range []netip.Addr{chain[0].Iface(0), chain[1].Iface(0), second} {
+			router.AddRoute(netsim.Route{
+				Prefix: netip.PrefixFrom(dst, 32),
+				Hops:   []netsim.NextHop{{Via: nextToward(router, chain, dst)}},
+			})
+		}
+	}
+	return b.Net, chain[1].Iface(0), second, chain[0].Iface(0)
+}
+
+func nextToward(r *netsim.Router, chain []*netsim.Router, dst netip.Addr) netip.Addr {
+	if r.Name == "gw" {
+		return chain[0].Iface(0)
+	}
+	if dst == chain[0].Iface(0) {
+		return dst
+	}
+	return chain[1].Iface(0)
+}
+
+func TestSameRouterResolution(t *testing.T) {
+	net, ifaceA, ifaceB, other := aliasNet(t)
+	p := NewProber(netsim.NewTransport(net))
+
+	same, err := p.SameRouter(ifaceA, ifaceB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("two interfaces of one router not resolved as aliases")
+	}
+
+	diff, err := p.SameRouter(ifaceA, other, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff {
+		t.Error("interfaces of different routers resolved as aliases")
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	net, _, _, _ := aliasNet(t)
+	p := NewProber(netsim.NewTransport(net))
+	// Unrouted address: no response.
+	if _, err := p.Probe(netip.AddrFrom4([4]byte{203, 0, 113, 1})); err == nil {
+		t.Error("probe to unrouted address succeeded")
+	}
+}
+
+// TestNATDetectionEndToEnd drives the Fig. 5 topology: repeated Paris
+// traces produce IP ID samples for the rewritten address N0 that partition
+// into several counters — the routers and the destination hiding behind
+// the NAT.
+func TestNATDetectionEndToEnd(t *testing.T) {
+	fig := topo.BuildFigure5(3)
+	tp := netsim.NewTransport(fig.Net)
+	var routes []*tracer.Route
+	for i := 0; i < 12; i++ {
+		rt, err := tracer.NewParisUDP(tp, tracer.Options{MaxTTL: 15}).Trace(fig.Dest.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes = append(routes, rt)
+	}
+	samples := HopSamples(routes)
+	if len(samples[fig.N]) == 0 {
+		t.Fatal("no samples for the NAT address")
+	}
+	suspects := SuspectNATs(samples, 256, 3)
+	found := false
+	for _, s := range suspects {
+		if s == fig.N {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NAT %v not suspected; suspects = %v, N samples = %v",
+			fig.N, suspects, samples[fig.N])
+	}
+	// Ordinary single-router addresses must not be suspected.
+	for _, s := range suspects {
+		if s == fig.A {
+			t.Errorf("plain router %v suspected as NAT", fig.A)
+		}
+	}
+}

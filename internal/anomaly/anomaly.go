@@ -1,0 +1,243 @@
+// Package anomaly implements the paper's three traceroute anomaly
+// signatures — loops, cycles, and diamonds (Section 4) — and the cause
+// classifier that attributes each instance using the observables Paris
+// traceroute adds (probe TTL, response TTL, IP ID) plus classic-vs-Paris
+// differencing.
+package anomaly
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/tracer"
+)
+
+// Loop is an observed loop: the same address at two or more consecutive
+// hops of one measured route (Section 4.1). Its signature is the pair
+// (Addr, Dest).
+type Loop struct {
+	Addr netip.Addr
+	Dest netip.Addr
+	// Start is the index in Route.Hops of the first repeated hop.
+	Start int
+	// Len is the number of consecutive hops carrying Addr (>= 2).
+	Len int
+	// AtEnd reports whether the loop runs to the end of the measured
+	// route (where unreachability and NAT loops live).
+	AtEnd bool
+}
+
+// Signature returns the paper's loop signature (r, d).
+func (l Loop) Signature() Signature { return Signature{Addr: l.Addr, Dest: l.Dest} }
+
+// Cycle is an observed cycle: an address appearing at least twice in one
+// measured route, separated by at least one distinct address (Section 4.2).
+type Cycle struct {
+	Addr netip.Addr
+	Dest netip.Addr
+	// First and Second are hop indices of two qualifying appearances.
+	First, Second int
+	// Period is the length of the repeating address sequence when the
+	// route is periodic (a forwarding-loop telltale), else 0.
+	Period int
+}
+
+// Signature returns the paper's cycle signature (r, d).
+func (c Cycle) Signature() Signature { return Signature{Addr: c.Addr, Dest: c.Dest} }
+
+// Signature identifies an anomaly instance class: the paper counts distinct
+// (address, destination) pairs across measurement rounds.
+type Signature struct {
+	Addr netip.Addr
+	Dest netip.Addr
+}
+
+// String implements fmt.Stringer.
+func (s Signature) String() string { return fmt.Sprintf("(%s,%s)", s.Addr, s.Dest) }
+
+// Diamond is a diamond signature in a per-destination graph: a pair (h, t)
+// of addresses such that measured routes toward the destination contain
+// ...h, r_i, t... for at least two distinct r_i (Section 4.3).
+type Diamond struct {
+	Head, Tail netip.Addr
+	Dest       netip.Addr
+	// Mids are the distinct intermediate addresses observed (k >= 2).
+	Mids []netip.Addr
+}
+
+// Key identifies the diamond within its destination graph.
+func (d Diamond) Key() DiamondKey { return DiamondKey{Head: d.Head, Tail: d.Tail, Dest: d.Dest} }
+
+// DiamondKey is the comparable form of a diamond signature.
+type DiamondKey struct {
+	Head, Tail netip.Addr
+	Dest       netip.Addr
+}
+
+// FindLoops scans a measured route for loops. Stars never participate: the
+// paper's definition requires addresses. Runs of the same address are
+// reported as a single loop.
+func FindLoops(rt *tracer.Route) []Loop {
+	var out []Loop
+	hops := rt.Hops
+	for i := 0; i < len(hops)-1; {
+		if hops[i].Star() {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(hops) && !hops[j+1].Star() && hops[j+1].Addr == hops[i].Addr {
+			j++
+		}
+		if j > i {
+			out = append(out, Loop{
+				Addr:  hops[i].Addr,
+				Dest:  rt.Dest,
+				Start: i,
+				Len:   j - i + 1,
+				AtEnd: j == len(hops)-1,
+			})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// FindCycles scans a measured route for cycles: r ... r' ... r with r' ≠ r.
+// Consecutive repeats (loops) do not qualify. One Cycle is reported per
+// cycling address.
+func FindCycles(rt *tracer.Route) []Cycle {
+	hops := rt.Hops
+	first := make(map[netip.Addr]int)
+	reported := make(map[netip.Addr]bool)
+	var out []Cycle
+	for i, h := range hops {
+		if h.Star() {
+			continue
+		}
+		f, seen := first[h.Addr]
+		if !seen {
+			first[h.Addr] = i
+			continue
+		}
+		if reported[h.Addr] {
+			continue
+		}
+		// Require at least one distinct intervening address.
+		distinct := false
+		for k := f + 1; k < i; k++ {
+			if !hops[k].Star() && hops[k].Addr != h.Addr {
+				distinct = true
+				break
+			}
+		}
+		if !distinct {
+			continue
+		}
+		out = append(out, Cycle{
+			Addr:   h.Addr,
+			Dest:   rt.Dest,
+			First:  f,
+			Second: i,
+			Period: periodOf(hops, f, i),
+		})
+		reported[h.Addr] = true
+	}
+	return out
+}
+
+// periodOf checks whether the address sequence between two appearances of
+// an address repeats with a fixed period — the forwarding-loop telltale
+// the paper looks for ("we should repeatedly observe a fixed sequence of
+// addresses"). Returns the period, or 0 if the route is not periodic there.
+func periodOf(hops []tracer.Hop, first, second int) int {
+	p := second - first
+	if p <= 0 {
+		return 0
+	}
+	// Verify at least one full extra period (or to end of route) matches.
+	matched := 0
+	for k := second; k < len(hops); k++ {
+		a, b := hops[k], hops[k-p]
+		if a.Star() || b.Star() || a.Addr != b.Addr {
+			return 0
+		}
+		matched++
+	}
+	if matched == 0 {
+		return 0
+	}
+	return p
+}
+
+// Graph is a per-destination directed multigraph assembled from many
+// measured routes, as the paper builds for its diamond study: nodes are
+// addresses, and an edge (a, b) exists when some route contains a at hop i
+// and b at hop i+1.
+type Graph struct {
+	Dest netip.Addr
+	// Succ maps each address to its successor set.
+	Succ map[netip.Addr]map[netip.Addr]bool
+	// Triples records (h, mid, t) adjacencies: for each (h, t) pair at
+	// distance two in some route, the set of observed middles.
+	Triples map[[2]netip.Addr]map[netip.Addr]bool
+	// Routes is the number of measured routes merged in.
+	Routes int
+}
+
+// NewGraph creates an empty per-destination graph.
+func NewGraph(dest netip.Addr) *Graph {
+	return &Graph{
+		Dest:    dest,
+		Succ:    make(map[netip.Addr]map[netip.Addr]bool),
+		Triples: make(map[[2]netip.Addr]map[netip.Addr]bool),
+	}
+}
+
+// Add merges one measured route into the graph. Stars break adjacency.
+func (g *Graph) Add(rt *tracer.Route) {
+	g.Routes++
+	hops := rt.Hops
+	for i := 0; i+1 < len(hops); i++ {
+		a, b := hops[i], hops[i+1]
+		if a.Star() || b.Star() {
+			continue
+		}
+		s := g.Succ[a.Addr]
+		if s == nil {
+			s = make(map[netip.Addr]bool)
+			g.Succ[a.Addr] = s
+		}
+		s[b.Addr] = true
+	}
+	for i := 0; i+2 < len(hops); i++ {
+		h, m, t := hops[i], hops[i+1], hops[i+2]
+		if h.Star() || m.Star() || t.Star() {
+			continue
+		}
+		key := [2]netip.Addr{h.Addr, t.Addr}
+		s := g.Triples[key]
+		if s == nil {
+			s = make(map[netip.Addr]bool)
+			g.Triples[key] = s
+		}
+		s[m.Addr] = true
+	}
+}
+
+// Diamonds enumerates the diamond signatures of the graph: (h, t) pairs
+// whose observed middles number at least two.
+func (g *Graph) Diamonds() []Diamond {
+	var out []Diamond
+	for key, mids := range g.Triples {
+		if len(mids) < 2 {
+			continue
+		}
+		d := Diamond{Head: key[0], Tail: key[1], Dest: g.Dest}
+		for m := range mids {
+			d.Mids = append(d.Mids, m)
+		}
+		out = append(out, d)
+	}
+	return out
+}

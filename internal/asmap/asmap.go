@@ -1,0 +1,139 @@
+// Package asmap provides longest-prefix-match IP→AS mapping.
+//
+// The paper maps the 90 million response source addresses to AS numbers
+// with Mao et al.'s technique to report coverage (1,122 ASes, all nine
+// tier-1 ISPs, 64 of the top regional ASes). Here the mapping table is
+// populated by the topology generator, which assigns AS numbers to the
+// prefixes it allocates; the campaign reports the same coverage statistics
+// over it.
+package asmap
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Tier classifies an AS for the coverage report.
+type Tier int
+
+const (
+	// TierStub is an edge network.
+	TierStub Tier = iota
+	// TierRegional is a top regional ISP (the paper's APNIC top-20s).
+	TierRegional
+	// TierOne is a tier-1 ISP.
+	TierOne
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierStub:
+		return "stub"
+	case TierRegional:
+		return "regional"
+	case TierOne:
+		return "tier-1"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// AS describes one autonomous system.
+type AS struct {
+	Number int
+	Name   string
+	Tier   Tier
+}
+
+// Table maps prefixes to AS numbers with longest-prefix-match semantics.
+// The zero value is empty and ready to use.
+type Table struct {
+	entries []entry
+	ases    map[int]AS
+	sorted  bool
+}
+
+type entry struct {
+	prefix netip.Prefix
+	asn    int
+}
+
+// RegisterAS records AS metadata (idempotent; later calls overwrite).
+func (t *Table) RegisterAS(a AS) {
+	if t.ases == nil {
+		t.ases = make(map[int]AS)
+	}
+	t.ases[a.Number] = a
+}
+
+// AS returns the metadata for an AS number.
+func (t *Table) AS(n int) (AS, bool) {
+	a, ok := t.ases[n]
+	return a, ok
+}
+
+// Add maps a prefix to an AS number.
+func (t *Table) Add(p netip.Prefix, asn int) {
+	t.entries = append(t.entries, entry{prefix: p.Masked(), asn: asn})
+	t.sorted = false
+}
+
+// Lookup returns the AS number owning addr via longest-prefix match.
+func (t *Table) Lookup(addr netip.Addr) (int, bool) {
+	if !t.sorted {
+		// Sort by descending prefix length so the first match wins.
+		sort.SliceStable(t.entries, func(i, j int) bool {
+			return t.entries[i].prefix.Bits() > t.entries[j].prefix.Bits()
+		})
+		t.sorted = true
+	}
+	for _, e := range t.entries {
+		if e.prefix.Contains(addr) {
+			return e.asn, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of mapped prefixes.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Coverage summarises which ASes a set of observed addresses touches,
+// reproducing the Section 3 coverage report.
+type Coverage struct {
+	// ASes is the count of distinct ASes observed.
+	ASes int
+	// TierOne and Regional count distinct observed ASes of each tier.
+	TierOne  int
+	Regional int
+	// Unmapped counts addresses with no matching prefix (the paper's
+	// "invalid IP addresses").
+	Unmapped int
+}
+
+// Cover computes coverage over the observed address set.
+func (t *Table) Cover(addrs []netip.Addr) Coverage {
+	seen := make(map[int]bool)
+	var cov Coverage
+	for _, a := range addrs {
+		asn, ok := t.Lookup(a)
+		if !ok {
+			cov.Unmapped++
+			continue
+		}
+		if seen[asn] {
+			continue
+		}
+		seen[asn] = true
+		cov.ASes++
+		switch t.ases[asn].Tier {
+		case TierOne:
+			cov.TierOne++
+		case TierRegional:
+			cov.Regional++
+		}
+	}
+	return cov
+}

@@ -1,0 +1,97 @@
+package asmap
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+func TestLongestPrefixMatch(t *testing.T) {
+	var tab Table
+	tab.Add(pfx("10.0.0.0/8"), 1)
+	tab.Add(pfx("10.1.0.0/16"), 2)
+	tab.Add(pfx("10.1.2.0/24"), 3)
+
+	for _, tc := range []struct {
+		addr string
+		want int
+	}{
+		{"10.9.9.9", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.9", 3},
+	} {
+		got, ok := tab.Lookup(ip(tc.addr))
+		if !ok || got != tc.want {
+			t.Errorf("Lookup(%s) = %d,%v want %d", tc.addr, got, ok, tc.want)
+		}
+	}
+	if _, ok := tab.Lookup(ip("192.0.2.1")); ok {
+		t.Error("unmapped address matched")
+	}
+}
+
+func TestAddAfterLookupResorts(t *testing.T) {
+	var tab Table
+	tab.Add(pfx("10.0.0.0/8"), 1)
+	if got, _ := tab.Lookup(ip("10.1.2.3")); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	tab.Add(pfx("10.1.0.0/16"), 2) // added after a lookup: must re-sort
+	if got, _ := tab.Lookup(ip("10.1.2.3")); got != 2 {
+		t.Errorf("got %d, want 2 (longest prefix added late)", got)
+	}
+}
+
+func TestMaskedPrefixes(t *testing.T) {
+	var tab Table
+	// Unmasked input (host bits set) must still match its whole prefix.
+	tab.Add(netip.PrefixFrom(ip("10.1.2.3"), 16), 7)
+	if got, ok := tab.Lookup(ip("10.1.200.200")); !ok || got != 7 {
+		t.Errorf("Lookup = %d,%v want 7", got, ok)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	var tab Table
+	tab.RegisterAS(AS{Number: 1, Name: "t1", Tier: TierOne})
+	tab.RegisterAS(AS{Number: 2, Name: "reg", Tier: TierRegional})
+	tab.RegisterAS(AS{Number: 3, Name: "stub", Tier: TierStub})
+	tab.Add(pfx("10.0.0.0/8"), 1)
+	tab.Add(pfx("172.16.0.0/16"), 2)
+	tab.Add(pfx("192.168.0.0/24"), 3)
+
+	cov := tab.Cover([]netip.Addr{
+		ip("10.0.0.1"), ip("10.0.0.2"), // AS 1 twice: counted once
+		ip("172.16.5.5"),   // AS 2
+		ip("192.168.0.9"),  // AS 3
+		ip("198.51.100.1"), // unmapped
+	})
+	if cov.ASes != 3 || cov.TierOne != 1 || cov.Regional != 1 || cov.Unmapped != 1 {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
+func TestASMetadata(t *testing.T) {
+	var tab Table
+	tab.RegisterAS(AS{Number: 9, Name: "nine", Tier: TierRegional})
+	a, ok := tab.AS(9)
+	if !ok || a.Name != "nine" || a.Tier != TierRegional {
+		t.Errorf("AS(9) = %+v, %v", a, ok)
+	}
+	if _, ok := tab.AS(10); ok {
+		t.Error("unknown AS found")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTierStrings(t *testing.T) {
+	for _, tier := range []Tier{TierStub, TierRegional, TierOne} {
+		if tier.String() == "" {
+			t.Errorf("empty string for tier %d", int(tier))
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package core is the high-level Paris-traceroute API tying the probing
+// engines, the anomaly detectors, and the cause classifier together.
+//
+// It implements the paper's primary contribution — measurement that holds
+// the flow identifier constant — as a ready-to-use workflow:
+//
+//   - MeasurePair: the paper's side-by-side methodology (one Paris trace,
+//     one classic trace, classified anomaly instances);
+//   - EnumeratePaths: the "algorithms to automatically find all interfaces
+//     of a given load balancer" the paper lists as future work, realised by
+//     tracing many distinct flows;
+//   - ClassifyBalancer: distinguishing per-flow from per-packet load
+//     balancing, the paper's other future-work item, by repeating a single
+//     flow and observing whether the path stays put.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/tracer"
+)
+
+// Session wraps a transport with the default options used by the paper's
+// study (UDP probing, stop rules).
+type Session struct {
+	Transport tracer.Transport
+	Options   tracer.Options
+}
+
+// NewSession creates a session over tp with the paper's defaults.
+func NewSession(tp tracer.Transport) *Session {
+	return &Session{Transport: tp, Options: tracer.Options{
+		MaxTTL:              30,
+		MaxConsecutiveStars: 8,
+	}}
+}
+
+// ClassifiedLoop is a loop instance with its attributed cause.
+type ClassifiedLoop struct {
+	Loop  anomaly.Loop
+	Cause anomaly.Cause
+}
+
+// ClassifiedCycle is a cycle instance with its attributed cause.
+type ClassifiedCycle struct {
+	Cycle anomaly.Cycle
+	Cause anomaly.Cause
+}
+
+// PairResult is the outcome of one side-by-side measurement.
+type PairResult struct {
+	Paris   *tracer.Route
+	Classic *tracer.Route
+	// Loops and Cycles are the classic trace's anomalies, classified
+	// against the Paris trace.
+	Loops  []ClassifiedLoop
+	Cycles []ClassifiedCycle
+	// ParisLoops and ParisCycles are anomalies Paris itself still sees
+	// (zero-TTL, NAT, unreachability, per-packet: the causes constant
+	// flow identifiers cannot remove).
+	ParisLoops  []anomaly.Loop
+	ParisCycles []anomaly.Cycle
+}
+
+// MeasurePair runs the paper's two-step measurement toward dest: a Paris
+// traceroute with an unchanging five-tuple, then a classic traceroute, with
+// anomaly detection and cause classification applied.
+func (s *Session) MeasurePair(dest netip.Addr) (*PairResult, error) {
+	paris := tracer.NewParisUDP(s.Transport, s.Options)
+	pr, err := paris.Trace(dest)
+	if err != nil {
+		return nil, fmt.Errorf("core: paris trace: %w", err)
+	}
+	classic := tracer.NewClassicUDP(s.Transport, s.Options)
+	cr, err := classic.Trace(dest)
+	if err != nil {
+		return nil, fmt.Errorf("core: classic trace: %w", err)
+	}
+	res := &PairResult{
+		Paris:       pr,
+		Classic:     cr,
+		ParisLoops:  anomaly.FindLoops(pr),
+		ParisCycles: anomaly.FindCycles(pr),
+	}
+	for _, l := range anomaly.FindLoops(cr) {
+		res.Loops = append(res.Loops, ClassifiedLoop{Loop: l, Cause: anomaly.ClassifyLoop(l, cr, pr)})
+	}
+	for _, c := range anomaly.FindCycles(cr) {
+		res.Cycles = append(res.Cycles, ClassifiedCycle{Cycle: c, Cause: anomaly.ClassifyCycle(c, cr, pr)})
+	}
+	return res, nil
+}
+
+// PathSet is the result of multipath enumeration toward one destination.
+type PathSet struct {
+	Dest netip.Addr
+	// Paths maps each distinct hop-address sequence (stringified) to the
+	// flows (source ports) that took it.
+	Paths map[string][]uint16
+	// Routes holds one representative route per distinct path.
+	Routes []*tracer.Route
+	// InterfacesPerHop lists, for each TTL offset, the distinct
+	// responding interfaces observed across flows — the "all interfaces
+	// of a given load balancer" view.
+	InterfacesPerHop [][]netip.Addr
+}
+
+// Distinct returns the number of distinct paths found.
+func (ps *PathSet) Distinct() int { return len(ps.Paths) }
+
+// EnumeratePaths traces toward dest once per flow, varying the Paris source
+// port, and merges the results. With per-flow load balancing on the path,
+// distinct flows reveal the distinct parallel paths; with classic routing
+// only, exactly one path appears.
+func (s *Session) EnumeratePaths(dest netip.Addr, flows int) (*PathSet, error) {
+	if flows <= 0 {
+		flows = 16
+	}
+	ps := &PathSet{Dest: dest, Paths: make(map[string][]uint16)}
+	var maxLen int
+	ifaceSets := []map[netip.Addr]bool{}
+	for f := 0; f < flows; f++ {
+		opts := s.Options
+		opts.SrcPort = uint16(10000 + f*97)
+		opts.DstPort = uint16(20000 + f*59)
+		tr := tracer.NewParisUDP(s.Transport, opts)
+		rt, err := tr.Trace(dest)
+		if err != nil {
+			return nil, fmt.Errorf("core: enumerating flow %d: %w", f, err)
+		}
+		key := pathKey(rt)
+		if _, seen := ps.Paths[key]; !seen {
+			ps.Routes = append(ps.Routes, rt)
+		}
+		ps.Paths[key] = append(ps.Paths[key], opts.SrcPort)
+		if len(rt.Hops) > maxLen {
+			maxLen = len(rt.Hops)
+		}
+		for i, h := range rt.Hops {
+			for len(ifaceSets) <= i {
+				ifaceSets = append(ifaceSets, make(map[netip.Addr]bool))
+			}
+			if !h.Star() {
+				ifaceSets[i][h.Addr] = true
+			}
+		}
+	}
+	for _, set := range ifaceSets {
+		var addrs []netip.Addr
+		for a := range set {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+		ps.InterfacesPerHop = append(ps.InterfacesPerHop, addrs)
+	}
+	return ps, nil
+}
+
+// pathKey canonicalizes a route's address sequence.
+func pathKey(rt *tracer.Route) string {
+	s := ""
+	for _, h := range rt.Hops {
+		if h.Star() {
+			s += "*|"
+		} else {
+			s += h.Addr.String() + "|"
+		}
+	}
+	return s
+}
+
+// BalancerKind is the verdict of ClassifyBalancer.
+type BalancerKind int
+
+const (
+	// BalancerNone: one path for all flows and repetitions.
+	BalancerNone BalancerKind = iota
+	// BalancerPerFlow: different flows take different, stable paths.
+	BalancerPerFlow
+	// BalancerPerPacket: even a single repeated flow sees several paths.
+	BalancerPerPacket
+)
+
+// String implements fmt.Stringer.
+func (k BalancerKind) String() string {
+	switch k {
+	case BalancerNone:
+		return "none"
+	case BalancerPerFlow:
+		return "per-flow"
+	case BalancerPerPacket:
+		return "per-packet"
+	default:
+		return fmt.Sprintf("BalancerKind(%d)", int(k))
+	}
+}
+
+// ClassifyBalancer distinguishes per-flow from per-packet load balancing
+// toward dest — the paper's second future-work item. It repeats one flow
+// `repeats` times (same five-tuple: any path change must be per-packet),
+// then samples `flows` distinct flows (path changes there with a stable
+// single flow indicate per-flow balancing).
+func (s *Session) ClassifyBalancer(dest netip.Addr, flows, repeats int) (BalancerKind, error) {
+	if repeats <= 0 {
+		repeats = 4
+	}
+	// Step 1: one flow, repeated.
+	single := make(map[string]bool)
+	for r := 0; r < repeats; r++ {
+		opts := s.Options
+		opts.SrcPort, opts.DstPort = 10007, 20011
+		tr := tracer.NewParisUDP(s.Transport, opts)
+		rt, err := tr.Trace(dest)
+		if err != nil {
+			return BalancerNone, fmt.Errorf("core: repeat %d: %w", r, err)
+		}
+		single[pathKey(rt)] = true
+	}
+	if len(single) > 1 {
+		return BalancerPerPacket, nil
+	}
+	// Step 2: distinct flows.
+	ps, err := s.EnumeratePaths(dest, flows)
+	if err != nil {
+		return BalancerNone, err
+	}
+	if ps.Distinct() > 1 {
+		return BalancerPerFlow, nil
+	}
+	return BalancerNone, nil
+}

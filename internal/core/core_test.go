@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+func TestMeasurePairClassifiesPerFlowLoop(t *testing.T) {
+	fig := topo.BuildFigure3(1)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+
+	// The classic half straddles the unequal branches for some source
+	// ports; sweep until the loop shows, then check the classification.
+	found := false
+	for pid := uint16(0); pid < 96 && !found; pid++ {
+		sess.Options.SrcPort = 32768 + pid
+		res, err := sess.MeasurePair(fig.Dest.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ParisLoops) != 0 {
+			t.Fatalf("paris saw loops: %+v", res.ParisLoops)
+		}
+		for _, cl := range res.Loops {
+			found = true
+			if cl.Cause != anomaly.CausePerFlowLB {
+				t.Errorf("loop cause = %v, want per-flow-lb", cl.Cause)
+			}
+			if cl.Loop.Addr != fig.E {
+				t.Errorf("loop on %v, want E=%v", cl.Loop.Addr, fig.E)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no classic loop over 96 flows")
+	}
+}
+
+func TestMeasurePairZeroTTLSeenByBoth(t *testing.T) {
+	fig := topo.BuildFigure4(1)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+	res, err := sess.MeasurePair(fig.Dest.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 || res.Loops[0].Cause != anomaly.CauseZeroTTL {
+		t.Fatalf("classic loops = %+v", res.Loops)
+	}
+	// Zero-TTL loops are a router bug, not a flow artifact: Paris sees
+	// them too.
+	if len(res.ParisLoops) != 1 {
+		t.Fatalf("paris loops = %+v", res.ParisLoops)
+	}
+}
+
+func TestEnumeratePathsFindsAllBranches(t *testing.T) {
+	fig := topo.BuildFigure6(1, netsim.PerFlow)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+
+	ps, err := sess.EnumeratePaths(fig.Dest.Addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Distinct() != 3 {
+		t.Errorf("distinct paths = %d, want 3", ps.Distinct())
+	}
+	// Hop 7 (branch heads) and hop 8 (mids) must expose all interfaces.
+	heads := ps.InterfacesPerHop[6]
+	mids := ps.InterfacesPerHop[7]
+	if len(heads) != 3 || len(mids) != 3 {
+		t.Errorf("hop7=%v hop8=%v, want 3 each", heads, mids)
+	}
+	for _, want := range fig.BranchHeads {
+		found := false
+		for _, got := range heads {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("branch head %v not enumerated (got %v)", want, heads)
+		}
+	}
+	// The convergence point stays single.
+	if g := ps.InterfacesPerHop[8]; len(g) != 1 || g[0] != fig.G {
+		t.Errorf("hop9 = %v, want only G=%v", g, fig.G)
+	}
+}
+
+func TestEnumeratePathsSinglePathNetwork(t *testing.T) {
+	fig := topo.BuildFigure4(1) // plain chain (plus the zero-TTL quirk)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+	ps, err := sess.EnumeratePaths(fig.Dest.Addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Distinct() != 1 {
+		t.Errorf("distinct paths = %d, want 1", ps.Distinct())
+	}
+}
+
+func TestClassifyBalancerPerFlow(t *testing.T) {
+	fig := topo.BuildFigure6(1, netsim.PerFlow)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+	kind, err := sess.ClassifyBalancer(fig.Dest.Addr, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != BalancerPerFlow {
+		t.Errorf("kind = %v, want per-flow", kind)
+	}
+}
+
+func TestClassifyBalancerPerPacket(t *testing.T) {
+	fig := topo.BuildFigure6(1, netsim.PerPacket)
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+	kind, err := sess.ClassifyBalancer(fig.Dest.Addr, 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != BalancerPerPacket {
+		t.Errorf("kind = %v, want per-packet", kind)
+	}
+}
+
+func TestClassifyBalancerNone(t *testing.T) {
+	fig := topo.BuildFigure5(1) // chain + NAT, no balancer
+	sess := NewSession(netsim.NewTransport(fig.Net))
+	sess.Options.MaxTTL = 15
+	kind, err := sess.ClassifyBalancer(fig.Dest.Addr, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != BalancerNone {
+		t.Errorf("kind = %v, want none", kind)
+	}
+}
+
+func TestBalancerKindStrings(t *testing.T) {
+	for _, k := range []BalancerKind{BalancerNone, BalancerPerFlow, BalancerPerPacket} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}

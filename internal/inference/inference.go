@@ -1,0 +1,249 @@
+// Package inference reconstructs router-level topologies from measured
+// routes, the downstream task traceroute anomalies corrupt (Section 2.1).
+//
+// It implements the three link-inference policies the paper discusses:
+//
+//   - PolicyAllLinks: believe every consecutive address pair (what naive
+//     map construction does, and what Fig. 1 shows inferring false links);
+//   - PolicyFirstAddress (skitter/arts++): keep only the first address
+//     obtained for each hop across measurements;
+//   - PolicyConfidence (Rocketfuel): include all links but attribute a
+//     lower confidence to links inferred from hops that respond with
+//     multiple addresses.
+//
+// Comparing an inferred topology against the simulator's ground truth
+// quantifies exactly the failures the paper describes: missing nodes,
+// missing links, and false links — and shows Paris traceroute removing the
+// per-flow share of them.
+package inference
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/tracer"
+)
+
+// Policy selects how measured routes become links.
+type Policy int
+
+const (
+	// PolicyAllLinks believes every observed adjacency.
+	PolicyAllLinks Policy = iota
+	// PolicyFirstAddress keeps the first responding address per hop
+	// position per destination (the arts++ reading of skitter data).
+	PolicyFirstAddress
+	// PolicyConfidence keeps all links with Rocketfuel-style confidence
+	// weights: 1.0 for links whose endpoints were the only addresses at
+	// their hops, lower otherwise.
+	PolicyConfidence
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAllLinks:
+		return "all-links"
+	case PolicyFirstAddress:
+		return "first-address"
+	case PolicyConfidence:
+		return "confidence"
+	default:
+		return "unknown"
+	}
+}
+
+// Link is a directed router-level adjacency.
+type Link struct{ From, To netip.Addr }
+
+// Topology is an inferred router-level map.
+type Topology struct {
+	Nodes map[netip.Addr]bool
+	// Links maps each inferred link to its confidence in [0, 1].
+	Links map[Link]float64
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		Nodes: make(map[netip.Addr]bool),
+		Links: make(map[Link]float64),
+	}
+}
+
+// Infer builds a topology from measured routes under the given policy.
+func Infer(routes []*tracer.Route, policy Policy) *Topology {
+	topo := NewTopology()
+	switch policy {
+	case PolicyFirstAddress:
+		inferFirstAddress(routes, topo)
+	case PolicyConfidence:
+		inferConfidence(routes, topo)
+	default:
+		for _, rt := range routes {
+			addLinks(rt.Hops, topo, 1.0)
+		}
+	}
+	return topo
+}
+
+func addLinks(hops []tracer.Hop, topo *Topology, conf float64) {
+	for _, h := range hops {
+		if !h.Star() {
+			topo.Nodes[h.Addr] = true
+		}
+	}
+	for i := 0; i+1 < len(hops); i++ {
+		a, b := hops[i], hops[i+1]
+		if a.Star() || b.Star() || a.Addr == b.Addr {
+			continue
+		}
+		l := Link{From: a.Addr, To: b.Addr}
+		if conf > topo.Links[l] {
+			topo.Links[l] = conf
+		}
+	}
+}
+
+// inferFirstAddress reduces each destination's measurements to one route:
+// the first address seen at each hop position.
+func inferFirstAddress(routes []*tracer.Route, topo *Topology) {
+	type key struct {
+		dest netip.Addr
+		hop  int
+	}
+	first := make(map[key]netip.Addr)
+	maxHop := make(map[netip.Addr]int)
+	for _, rt := range routes {
+		for i, h := range rt.Hops {
+			if h.Star() {
+				continue
+			}
+			k := key{rt.Dest, i}
+			if _, ok := first[k]; !ok {
+				first[k] = h.Addr
+			}
+			if i+1 > maxHop[rt.Dest] {
+				maxHop[rt.Dest] = i + 1
+			}
+		}
+	}
+	for _, rt := range routes {
+		reduced := make([]tracer.Hop, maxHop[rt.Dest])
+		for i := range reduced {
+			if a, ok := first[key{rt.Dest, i}]; ok {
+				reduced[i] = tracer.Hop{TTL: i + 1, Addr: a, Kind: tracer.KindTimeExceeded}
+			} else {
+				reduced[i] = tracer.Hop{TTL: i + 1, Kind: tracer.KindNone}
+			}
+		}
+		addLinks(reduced, topo, 1.0)
+	}
+}
+
+// inferConfidence weights links by hop-address multiplicity: a link from a
+// hop position that answered with k distinct addresses (across the
+// measurements toward that destination) gets confidence 1/k.
+func inferConfidence(routes []*tracer.Route, topo *Topology) {
+	type key struct {
+		dest netip.Addr
+		hop  int
+	}
+	seen := make(map[key]map[netip.Addr]bool)
+	for _, rt := range routes {
+		for i, h := range rt.Hops {
+			if h.Star() {
+				continue
+			}
+			k := key{rt.Dest, i}
+			if seen[k] == nil {
+				seen[k] = make(map[netip.Addr]bool)
+			}
+			seen[k][h.Addr] = true
+		}
+	}
+	for _, rt := range routes {
+		for _, h := range rt.Hops {
+			if !h.Star() {
+				topo.Nodes[h.Addr] = true
+			}
+		}
+		for i := 0; i+1 < len(rt.Hops); i++ {
+			a, b := rt.Hops[i], rt.Hops[i+1]
+			if a.Star() || b.Star() || a.Addr == b.Addr {
+				continue
+			}
+			k1 := len(seen[key{rt.Dest, i}])
+			k2 := len(seen[key{rt.Dest, i + 1}])
+			conf := 1.0
+			if k1 > 1 {
+				conf /= float64(k1)
+			}
+			if k2 > 1 {
+				conf /= float64(k2)
+			}
+			l := Link{From: a.Addr, To: b.Addr}
+			if conf > topo.Links[l] {
+				topo.Links[l] = conf
+			}
+		}
+	}
+}
+
+// Truth is a ground-truth topology for comparison (the simulator's actual
+// adjacencies restricted to the measured region).
+type Truth struct {
+	Nodes map[netip.Addr]bool
+	Links map[Link]bool
+}
+
+// Compare scores an inferred topology against ground truth. Links below
+// minConfidence are ignored (the Rocketfuel-style cut).
+type Comparison struct {
+	TrueNodes, FoundNodes, MissingNodes int
+	TrueLinks, FoundLinks               int
+	MissingLinks, FalseLinks            int
+}
+
+// Compare evaluates the inferred topology.
+func Compare(inferred *Topology, truth *Truth, minConfidence float64) Comparison {
+	var c Comparison
+	c.TrueNodes = len(truth.Nodes)
+	for n := range truth.Nodes {
+		if inferred.Nodes[n] {
+			c.FoundNodes++
+		}
+	}
+	c.MissingNodes = c.TrueNodes - c.FoundNodes
+	c.TrueLinks = len(truth.Links)
+	covered := map[Link]bool{}
+	for l, conf := range inferred.Links {
+		if conf < minConfidence {
+			continue
+		}
+		if truth.Links[l] {
+			covered[l] = true
+		} else {
+			c.FalseLinks++
+		}
+	}
+	c.FoundLinks = len(covered)
+	c.MissingLinks = c.TrueLinks - c.FoundLinks
+	return c
+}
+
+// SortedLinks returns the inferred links in deterministic order (for
+// reports and tests).
+func (t *Topology) SortedLinks() []Link {
+	out := make([]Link, 0, len(t.Links))
+	for l := range t.Links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From.Less(out[j].From)
+		}
+		return out[i].To.Less(out[j].To)
+	})
+	return out
+}

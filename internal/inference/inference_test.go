@@ -1,0 +1,221 @@
+package inference
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+func addr(i int) netip.Addr { return netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}) }
+
+var dst = netip.AddrFrom4([4]byte{172, 16, 0, 1})
+
+func route(spec ...int) *tracer.Route {
+	rt := &tracer.Route{Dest: dst}
+	for i, s := range spec {
+		h := tracer.Hop{TTL: i + 1, Kind: tracer.KindTimeExceeded}
+		if s < 0 {
+			h.Kind = tracer.KindNone
+		} else {
+			h.Addr = addr(s)
+		}
+		rt.Hops = append(rt.Hops, h)
+	}
+	return rt
+}
+
+func TestInferAllLinks(t *testing.T) {
+	topo := Infer([]*tracer.Route{route(1, 2, 4), route(1, 3, 4)}, PolicyAllLinks)
+	if len(topo.Nodes) != 4 {
+		t.Errorf("nodes = %d, want 4", len(topo.Nodes))
+	}
+	for _, l := range []Link{
+		{addr(1), addr(2)}, {addr(1), addr(3)}, {addr(2), addr(4)}, {addr(3), addr(4)},
+	} {
+		if topo.Links[l] != 1.0 {
+			t.Errorf("link %v missing or unweighted", l)
+		}
+	}
+}
+
+func TestInferStarsBreakLinks(t *testing.T) {
+	topo := Infer([]*tracer.Route{route(1, -1, 3)}, PolicyAllLinks)
+	if len(topo.Links) != 0 {
+		t.Errorf("links across a star: %v", topo.Links)
+	}
+	if len(topo.Nodes) != 2 {
+		t.Errorf("nodes = %d", len(topo.Nodes))
+	}
+}
+
+func TestInferFirstAddressCollapses(t *testing.T) {
+	// skitter/arts++: the second measurement's divergent hop-2 address is
+	// discarded; only the first route's addresses survive.
+	topo := Infer([]*tracer.Route{route(1, 2, 4), route(1, 3, 4)}, PolicyFirstAddress)
+	if topo.Nodes[addr(3)] {
+		t.Error("first-address policy kept a later hop address")
+	}
+	if _, ok := topo.Links[Link{addr(1), addr(3)}]; ok {
+		t.Error("first-address policy kept a later link")
+	}
+	if _, ok := topo.Links[Link{addr(1), addr(2)}]; !ok {
+		t.Error("first-address policy lost the first link")
+	}
+}
+
+func TestInferConfidenceWeights(t *testing.T) {
+	topo := Infer([]*tracer.Route{route(1, 2, 4), route(1, 3, 4)}, PolicyConfidence)
+	// Hop 2 answered with two addresses: links touching it are weighted
+	// down by 1/2.
+	if got := topo.Links[Link{addr(1), addr(2)}]; got != 0.5 {
+		t.Errorf("confidence = %v, want 0.5", got)
+	}
+	// A link between unambiguous hops keeps confidence 1... here both
+	// mid links involve the ambiguous hop, so check the cut behaviour.
+	single := Infer([]*tracer.Route{route(1, 2, 4)}, PolicyConfidence)
+	if got := single.Links[Link{addr(1), addr(2)}]; got != 1.0 {
+		t.Errorf("unambiguous confidence = %v, want 1.0", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	truth := &Truth{
+		Nodes: map[netip.Addr]bool{addr(1): true, addr(2): true, addr(3): true, addr(4): true},
+		Links: map[Link]bool{
+			{addr(1), addr(2)}: true,
+			{addr(1), addr(3)}: true,
+			{addr(2), addr(4)}: true,
+			{addr(3), addr(4)}: true,
+		},
+	}
+	// A measurement that mixed branches: false links (2->3's position).
+	inferred := Infer([]*tracer.Route{route(1, 2, 4), route(1, 3, 4), route(1, 2, 3)}, PolicyAllLinks)
+	c := Compare(inferred, truth, 0)
+	if c.FalseLinks != 1 { // (2,3) is not a true link
+		t.Errorf("false links = %d, want 1", c.FalseLinks)
+	}
+	if c.FoundNodes != 4 || c.MissingNodes != 0 {
+		t.Errorf("nodes: %+v", c)
+	}
+	if c.FoundLinks != 4 || c.MissingLinks != 0 {
+		t.Errorf("links: %+v", c)
+	}
+}
+
+// TestFig1FalseLinksQuantified reproduces Fig. 1's core claim end to end:
+// classic traceroute through a per-flow load balancer infers false links
+// and misses true ones, while Paris traceroute (flow enumeration) infers
+// the exact ground truth.
+func TestFig1FalseLinksQuantified(t *testing.T) {
+	fig := topo.BuildFigure1(4, netsim.PerFlow)
+	tp := netsim.NewTransport(fig.Net)
+
+	truth := fig1Truth(fig)
+
+	// Classic: one route per (fresh PID) invocation, 64 rounds.
+	var classicRoutes []*tracer.Route
+	for i := 0; i < 64; i++ {
+		rt, err := tracer.NewClassicUDP(tp, tracer.Options{
+			SrcPort: uint16(32768 + i), MaxTTL: 15,
+		}).Trace(fig.Dest.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classicRoutes = append(classicRoutes, rt)
+	}
+	classicCmp := Compare(Infer(classicRoutes, PolicyAllLinks), truth, 0)
+	if classicCmp.FalseLinks == 0 {
+		t.Error("classic traceroute inferred no false links through the balancer")
+	}
+
+	// Paris with flow enumeration: every link true, none missing.
+	var parisRoutes []*tracer.Route
+	for f := 0; f < 64; f++ {
+		rt, err := tracer.NewParisUDP(tp, tracer.Options{
+			SrcPort: uint16(10000 + f*31), MaxTTL: 15,
+		}).Trace(fig.Dest.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parisRoutes = append(parisRoutes, rt)
+	}
+	parisCmp := Compare(Infer(parisRoutes, PolicyAllLinks), truth, 0)
+	if parisCmp.FalseLinks != 0 {
+		t.Errorf("paris inferred %d false links", parisCmp.FalseLinks)
+	}
+	if parisCmp.MissingLinks != 0 {
+		t.Errorf("paris missed %d true links (flow enumeration should find all)", parisCmp.MissingLinks)
+	}
+
+	// The skitter-style reduction discards the second branch entirely:
+	// nodes go missing instead of links going false.
+	skitter := Compare(Infer(classicRoutes, PolicyFirstAddress), truth, 0)
+	if skitter.FalseLinks >= classicCmp.FalseLinks && skitter.MissingNodes == 0 {
+		t.Errorf("first-address policy should trade false links for missing nodes: %+v vs %+v",
+			skitter, classicCmp)
+	}
+
+	// The Rocketfuel-style confidence cut at 1.0 keeps only unambiguous
+	// links: fewer false links than believing everything.
+	rocket := Compare(Infer(classicRoutes, PolicyConfidence), truth, 1.0)
+	if rocket.FalseLinks > classicCmp.FalseLinks {
+		t.Errorf("confidence cut increased false links: %+v", rocket)
+	}
+}
+
+// fig1Truth enumerates the measured region of Fig. 1's ground truth:
+// the chain to L, the two branches, convergence at E, and the destination.
+func fig1Truth(fig *topo.Figure1) *Truth {
+	truth := &Truth{Nodes: map[netip.Addr]bool{}, Links: map[Link]bool{}}
+	// Discover the chain prefix with one Paris flow, then overlay the
+	// known diamond.
+	tp := netsim.NewTransport(fig.Net)
+	rt, err := tracer.NewParisUDP(tp, tracer.Options{MaxTTL: 15}).Trace(fig.Dest.Addr)
+	if err != nil {
+		panic(err)
+	}
+	addrs := rt.Addresses()
+	// Chain up to and including L (hop 6 = index 5).
+	for i := 0; i <= 5; i++ {
+		truth.Nodes[addrs[i]] = true
+		if i > 0 {
+			truth.Links[Link{addrs[i-1], addrs[i]}] = true
+		}
+	}
+	for _, n := range []netip.Addr{fig.A, fig.B, fig.C, fig.D, fig.E, fig.Dest.Addr} {
+		truth.Nodes[n] = true
+	}
+	truth.Links[Link{fig.L, fig.A}] = true
+	truth.Links[Link{fig.L, fig.B}] = true
+	truth.Links[Link{fig.A, fig.C}] = true
+	truth.Links[Link{fig.B, fig.D}] = true
+	truth.Links[Link{fig.C, fig.E}] = true
+	truth.Links[Link{fig.D, fig.E}] = true
+	truth.Links[Link{fig.E, fig.Dest.Addr}] = true
+	return truth
+}
+
+func TestSortedLinksDeterministic(t *testing.T) {
+	topo := Infer([]*tracer.Route{route(1, 2, 4), route(1, 3, 4)}, PolicyAllLinks)
+	a := topo.SortedLinks()
+	b := topo.SortedLinks()
+	if len(a) != len(b) || len(a) != 4 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order not deterministic")
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{PolicyAllLinks, PolicyFirstAddress, PolicyConfidence} {
+		if p.String() == "" || p.String() == "unknown" {
+			t.Errorf("bad string for policy %d", int(p))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package measure implements the paper's measurement methodology
+// (Section 3): paired classic/Paris traceroutes from one source toward a
+// destination list, run by parallel workers over repeated rounds, followed
+// by the anomaly statistics of Section 4.
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"repro/internal/tracer"
+)
+
+// Config mirrors the paper's measurement setup.
+type Config struct {
+	// Dests is the destination list (the paper: 5,000 pingable IPv4
+	// addresses in random order).
+	Dests []netip.Addr
+	// Rounds is the number of consecutive measurement rounds (the paper
+	// completed 556).
+	Rounds int
+	// Workers is the number of parallel probing processes (the paper
+	// launches 32, each probing 1/32 of the list).
+	Workers int
+	// MinTTL skips the local network (the paper sets 2).
+	MinTTL int
+	// MaxTTL bounds traces (the paper: no trace extends beyond 39 hops).
+	MaxTTL int
+	// MaxConsecutiveStars halts a trace (the paper: 8).
+	MaxConsecutiveStars int
+	// RoundStart, if set, is invoked before each round with the round
+	// number (routing dynamics injection).
+	RoundStart func(round int)
+	// PortSeed derives the per-destination Paris flow identifiers — the
+	// paper picks source/destination ports at random in
+	// [10000, 60000] per destination.
+	PortSeed int64
+}
+
+// Defaults fills unset fields with the paper's values.
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 32
+	}
+	if c.MinTTL <= 0 {
+		c.MinTTL = 2
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 39
+	}
+	if c.MaxConsecutiveStars <= 0 {
+		c.MaxConsecutiveStars = 8
+	}
+	return c
+}
+
+// Pair is one destination's paired measurement in one round: the Paris
+// trace and the classic trace, taken close together in time to minimise
+// routing-dynamics skew (Section 4.1.2).
+type Pair struct {
+	Dest    netip.Addr
+	Round   int
+	Paris   *tracer.Route
+	Classic *tracer.Route
+}
+
+// Results collects every pair of a campaign, grouped by round.
+type Results struct {
+	Config Config
+	// Rounds[r] lists the pairs measured in round r, one per
+	// destination.
+	Rounds [][]Pair
+}
+
+// Campaign runs the full study over the given transport.
+type Campaign struct {
+	cfg Config
+	tp  tracer.Transport
+}
+
+// NewCampaign creates a campaign; cfg.Dests must be non-empty.
+func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Dests) == 0 {
+		return nil, fmt.Errorf("measure: empty destination list")
+	}
+	return &Campaign{cfg: cfg, tp: tp}, nil
+}
+
+// portFor derives the stable per-destination Paris flow ports in the
+// paper's [10000, 60000] range.
+func portFor(seed int64, dest netip.Addr, salt uint64) uint16 {
+	a := dest.As4()
+	x := uint64(seed) ^ salt
+	for _, b := range a {
+		x = x*1099511628211 + uint64(b) // FNV-style mix
+	}
+	return uint16(10000 + x%50000)
+}
+
+// Run executes every round and returns the collected results.
+func (c *Campaign) Run() (*Results, error) {
+	res := &Results{Config: c.cfg}
+	for r := 0; r < c.cfg.Rounds; r++ {
+		if c.cfg.RoundStart != nil {
+			c.cfg.RoundStart(r)
+		}
+		pairs, err := c.runRound(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, pairs)
+	}
+	return res, nil
+}
+
+// runRound measures every destination once with Workers parallel workers,
+// each holding a contiguous share of the list (the paper's 32 processes
+// each probe 1/32 of the destinations).
+func (c *Campaign) runRound(round int) ([]Pair, error) {
+	dests := c.cfg.Dests
+	out := make([]Pair, len(dests))
+	errs := make([]error, c.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		lo := w * len(dests) / c.cfg.Workers
+		hi := (w + 1) * len(dests) / c.cfg.Workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				p, err := c.measureOne(round, dests[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = p
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// measureOne performs the paper's two steps for destination d: a Paris
+// traceroute with an unchanging five-tuple, then a classic traceroute with
+// the same timing parameters.
+func (c *Campaign) measureOne(round int, d netip.Addr) (Pair, error) {
+	base := tracer.Options{
+		MinTTL:              c.cfg.MinTTL,
+		MaxTTL:              c.cfg.MaxTTL,
+		MaxConsecutiveStars: c.cfg.MaxConsecutiveStars,
+	}
+
+	parisOpts := base
+	parisOpts.SrcPort = portFor(c.cfg.PortSeed, d, 0x517e)
+	parisOpts.DstPort = portFor(c.cfg.PortSeed, d, 0xd057)
+	paris := tracer.NewParisUDP(c.tp, parisOpts)
+	pr, err := paris.Trace(d)
+	if err != nil {
+		return Pair{}, fmt.Errorf("measure: paris trace to %v: %w", d, err)
+	}
+
+	// Classic traceroute sets its Source Port to PID + 32768; every
+	// invocation is a fresh process, so the port — part of the flow
+	// identifier — changes per trace. Emulate with a per-(round, dest)
+	// pseudo-PID.
+	classicOpts := base
+	classicOpts.SrcPort = 32768 + uint16(portFor(c.cfg.PortSeed, d, uint64(round)*0x9e37+0xc1a5)%30000)
+	classic := tracer.NewClassicUDP(c.tp, classicOpts)
+	cr, err := classic.Trace(d)
+	if err != nil {
+		return Pair{}, fmt.Errorf("measure: classic trace to %v: %w", d, err)
+	}
+
+	return Pair{Dest: d, Round: round, Paris: pr, Classic: cr}, nil
+}

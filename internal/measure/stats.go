@@ -1,0 +1,261 @@
+package measure
+
+import (
+	"net/netip"
+
+	"repro/internal/anomaly"
+)
+
+// LoopStats aggregates Section 4.1.2.
+type LoopStats struct {
+	// Instances is the number of loops observed in classic routes.
+	Instances int
+	// RoutesWithLoop counts classic measured routes containing at least
+	// one loop (the paper: 5.3% of routes).
+	RoutesWithLoop int
+	// DestsWithLoop counts destinations toward which a loop was ever
+	// observed (the paper: 18%).
+	DestsWithLoop int
+	// AddrsInLoop counts discovered addresses involved in a loop at
+	// least once (the paper: 6.3% of all addresses).
+	AddrsInLoop int
+	// Signatures counts distinct (addr, dest) loop signatures.
+	Signatures int
+	// OneRoundSignatures counts signatures observed in exactly one
+	// round (the paper: 18% of signatures).
+	OneRoundSignatures int
+	// ParisOnly counts loop instances seen by Paris whose address loops
+	// nowhere in the paired classic route (the paper: 0.25% of the
+	// classic count).
+	ParisOnly int
+	// ByCause tallies classic loop instances per attributed cause
+	// (the paper: 87% per-flow, 6.9% zero-TTL, 1.2% unreachability,
+	// 2.8% rewriting, 2.5% per-packet).
+	ByCause map[anomaly.Cause]int
+}
+
+// CycleStats aggregates Section 4.2.2.
+type CycleStats struct {
+	Instances          int
+	RoutesWithCycle    int // paper: 0.84% of routes
+	DestsWithCycle     int // paper: 11%
+	AddrsInCycle       int // paper: 3.6%
+	Signatures         int
+	OneRoundSignatures int // paper: 30%
+	// MeanRoundsPerSignature is the average number of rounds each cycle
+	// signature was observed in (the paper: 6.8 rounds, or 1.2%).
+	MeanRoundsPerSignature float64
+	ByCause                map[anomaly.Cause]int
+}
+
+// DiamondStats aggregates Section 4.3.2.
+type DiamondStats struct {
+	// Total counts diamonds across all per-destination classic graphs
+	// (the paper: 16,385).
+	Total int
+	// DestsWithDiamond counts destinations whose classic graph contains
+	// at least one diamond (the paper: 79%).
+	DestsWithDiamond int
+	// PerFlow counts classic diamonds absent from the paired Paris graph
+	// (the paper: 64%).
+	PerFlow int
+	// ParisTotal counts diamonds remaining in Paris graphs.
+	ParisTotal int
+}
+
+// Stats bundles every Section 4 aggregate plus trace bookkeeping.
+type Stats struct {
+	Rounds       int
+	Dests        int
+	Routes       int // classic measured routes (Dests × Rounds)
+	Responses    int // responding probes across both tracers
+	MidStars     int // stars amid responses (paper: 2.6 million)
+	AddrsSeen    int // distinct addresses discovered
+	ReachedPct   float64
+	Loops        LoopStats
+	Cycles       CycleStats
+	Diamonds     DiamondStats
+	AllAddresses []netip.Addr // distinct responder addresses (for AS coverage)
+}
+
+// Analyze computes the paper's statistics over campaign results.
+func Analyze(res *Results) *Stats {
+	s := &Stats{
+		Rounds: len(res.Rounds),
+		Dests:  len(res.Config.Dests),
+		Loops:  LoopStats{ByCause: make(map[anomaly.Cause]int)},
+		Cycles: CycleStats{ByCause: make(map[anomaly.Cause]int)},
+	}
+
+	addrs := make(map[netip.Addr]bool)
+	loopAddrs := make(map[netip.Addr]bool)
+	cycleAddrs := make(map[netip.Addr]bool)
+	loopDests := make(map[netip.Addr]bool)
+	cycleDests := make(map[netip.Addr]bool)
+	loopSigRounds := make(map[anomaly.Signature]map[int]bool)
+	cycleSigRounds := make(map[anomaly.Signature]map[int]bool)
+	classicGraphs := make(map[netip.Addr]*anomaly.Graph)
+	parisGraphs := make(map[netip.Addr]*anomaly.Graph)
+	reached := 0
+
+	for round, pairs := range res.Rounds {
+		for _, p := range pairs {
+			s.Routes++
+			if p.Classic.Reached() {
+				reached++
+			}
+			// Bookkeeping over both traces. Stars count as "mid" only
+			// when a response follows later in the route — trailing
+			// stars are the normal end-of-trace pattern (Section 3).
+			lastResp := -1
+			for i, h := range p.Classic.Hops {
+				if !h.Star() {
+					lastResp = i
+					s.Responses++
+					addrs[h.Addr] = true
+				}
+			}
+			for i, h := range p.Classic.Hops {
+				if h.Star() && i < lastResp {
+					s.MidStars++
+				}
+			}
+			for _, h := range p.Paris.Hops {
+				if !h.Star() {
+					s.Responses++
+					addrs[h.Addr] = true
+				}
+			}
+
+			// Loops (classic, classified against the paired Paris).
+			loops := anomaly.FindLoops(p.Classic)
+			if len(loops) > 0 {
+				s.Loops.RoutesWithLoop++
+				loopDests[p.Dest] = true
+			}
+			for _, l := range loops {
+				s.Loops.Instances++
+				loopAddrs[l.Addr] = true
+				cause := anomaly.ClassifyLoop(l, p.Classic, p.Paris)
+				s.Loops.ByCause[cause]++
+				sig := l.Signature()
+				if loopSigRounds[sig] == nil {
+					loopSigRounds[sig] = make(map[int]bool)
+				}
+				loopSigRounds[sig][round] = true
+			}
+			// Paris-only loops.
+			for _, l := range anomaly.FindLoops(p.Paris) {
+				found := false
+				for _, cl := range loops {
+					if cl.Addr == l.Addr {
+						found = true
+						break
+					}
+				}
+				if !found {
+					s.Loops.ParisOnly++
+				}
+			}
+
+			// Cycles.
+			cycles := anomaly.FindCycles(p.Classic)
+			if len(cycles) > 0 {
+				s.Cycles.RoutesWithCycle++
+				cycleDests[p.Dest] = true
+			}
+			for _, c := range cycles {
+				s.Cycles.Instances++
+				cycleAddrs[c.Addr] = true
+				cause := anomaly.ClassifyCycle(c, p.Classic, p.Paris)
+				s.Cycles.ByCause[cause]++
+				sig := c.Signature()
+				if cycleSigRounds[sig] == nil {
+					cycleSigRounds[sig] = make(map[int]bool)
+				}
+				cycleSigRounds[sig][round] = true
+			}
+
+			// Per-destination graphs for the diamond study.
+			cg := classicGraphs[p.Dest]
+			if cg == nil {
+				cg = anomaly.NewGraph(p.Dest)
+				classicGraphs[p.Dest] = cg
+			}
+			cg.Add(p.Classic)
+			pg := parisGraphs[p.Dest]
+			if pg == nil {
+				pg = anomaly.NewGraph(p.Dest)
+				parisGraphs[p.Dest] = pg
+			}
+			pg.Add(p.Paris)
+		}
+	}
+
+	s.AddrsSeen = len(addrs)
+	for a := range addrs {
+		s.AllAddresses = append(s.AllAddresses, a)
+	}
+	if s.Routes > 0 {
+		s.ReachedPct = pct(reached, s.Routes)
+	}
+
+	s.Loops.DestsWithLoop = len(loopDests)
+	s.Loops.AddrsInLoop = len(loopAddrs)
+	s.Loops.Signatures = len(loopSigRounds)
+	for _, rounds := range loopSigRounds {
+		if len(rounds) == 1 {
+			s.Loops.OneRoundSignatures++
+		}
+	}
+
+	s.Cycles.DestsWithCycle = len(cycleDests)
+	s.Cycles.AddrsInCycle = len(cycleAddrs)
+	s.Cycles.Signatures = len(cycleSigRounds)
+	totalRounds := 0
+	for _, rounds := range cycleSigRounds {
+		if len(rounds) == 1 {
+			s.Cycles.OneRoundSignatures++
+		}
+		totalRounds += len(rounds)
+	}
+	if len(cycleSigRounds) > 0 {
+		s.Cycles.MeanRoundsPerSignature = float64(totalRounds) / float64(len(cycleSigRounds))
+	}
+
+	for dest, cg := range classicGraphs {
+		ds := cg.Diamonds()
+		if len(ds) > 0 {
+			s.Diamonds.DestsWithDiamond++
+		}
+		s.Diamonds.Total += len(ds)
+		pg := parisGraphs[dest]
+		for _, d := range ds {
+			if anomaly.ClassifyDiamond(d, pg) == anomaly.CausePerFlowLB {
+				s.Diamonds.PerFlow++
+			}
+		}
+		if pg != nil {
+			s.Diamonds.ParisTotal += len(pg.Diamonds())
+		}
+	}
+
+	return s
+}
+
+// pct returns 100*a/b.
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// CausePct returns the share of cause c among the tallied instances.
+func CausePct(byCause map[anomaly.Cause]int, c anomaly.Cause) float64 {
+	total := 0
+	for _, n := range byCause {
+		total += n
+	}
+	return pct(byCause[c], total)
+}

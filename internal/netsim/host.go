@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// Host is a simulated end host (a traceroute destination). Hosts answer
+// probes the way the paper's "pingable" destinations do: UDP probes to
+// unbound ports draw ICMP Port Unreachable, Echo Requests draw Echo Replies,
+// and TCP SYNs draw RST (closed port) or SYN-ACK (listening port).
+type Host struct {
+	Name string
+	Addr netip.Addr
+
+	// OpenTCPPorts lists ports that answer SYN with SYN-ACK; all other
+	// TCP ports answer with RST. tcptraceroute treats both as arrival.
+	OpenTCPPorts map[uint16]bool
+
+	// Silent suppresses all responses (an unpingable host; the paper
+	// excludes these from its destination list, but the campaign engine
+	// uses them to test stop conditions).
+	Silent bool
+
+	icmpTTL uint8
+	ipID    uint16
+	mu      sync.Mutex
+}
+
+// NewHost creates a host answering at addr.
+func NewHost(name string, addr netip.Addr) *Host {
+	return &Host{Name: name, Addr: addr, icmpTTL: 64}
+}
+
+// SetICMPTTL sets the initial TTL of packets the host originates. End hosts
+// commonly use 64 where routers use 255.
+func (h *Host) SetICMPTTL(ttl uint8) *Host {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.icmpTTL = ttl
+	return h
+}
+
+func (h *Host) nextIPID() uint16 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ipID++
+	return h.ipID
+}
+
+// respond builds the host's response to the delivered serialized packet, or
+// returns nil if the host stays silent.
+func (h *Host) respond(pkt []byte) []byte {
+	if h.Silent {
+		return nil
+	}
+	ih, payload, err := packet.ParseIPv4(pkt)
+	if err != nil {
+		return nil
+	}
+	switch ih.Protocol {
+	case packet.ProtoUDP:
+		m, err := packet.DestUnreachable(packet.CodePortUnreachable, pkt)
+		if err != nil {
+			return nil
+		}
+		return h.marshalICMP(m, ih.Src)
+	case packet.ProtoICMP:
+		m, err := packet.ParseICMP(payload)
+		if err != nil || m.Type != packet.ICMPTypeEchoRequest {
+			return nil
+		}
+		reply := &packet.ICMP{
+			Type:    packet.ICMPTypeEchoReply,
+			ID:      m.ID,
+			Seq:     m.Seq,
+			Payload: append([]byte(nil), m.Payload...),
+		}
+		return h.marshalICMP(reply, ih.Src)
+	case packet.ProtoTCP:
+		th, _, _, err := packet.ParseTCP(payload)
+		if err != nil || th == nil {
+			return nil
+		}
+		flags := uint8(packet.TCPRst | packet.TCPAck)
+		if h.OpenTCPPorts[th.DstPort] {
+			flags = packet.TCPSyn | packet.TCPAck
+		}
+		seg, err := packet.MarshalTCP(h.Addr, ih.Src, &packet.TCP{
+			SrcPort: th.DstPort,
+			DstPort: th.SrcPort,
+			Ack:     th.Seq + 1,
+			Flags:   flags,
+			Window:  65535,
+		}, nil)
+		if err != nil {
+			return nil
+		}
+		out, err := (&packet.IPv4{
+			TTL:      h.ttl(),
+			Protocol: packet.ProtoTCP,
+			ID:       h.nextIPID(),
+			Src:      h.Addr,
+			Dst:      ih.Src,
+		}).Marshal(seg)
+		if err != nil {
+			return nil
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func (h *Host) ttl() uint8 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.icmpTTL
+}
+
+func (h *Host) marshalICMP(m *packet.ICMP, dst netip.Addr) []byte {
+	body, err := m.Marshal()
+	if err != nil {
+		return nil
+	}
+	out, err := (&packet.IPv4{
+		TTL:      h.ttl(),
+		Protocol: packet.ProtoICMP,
+		ID:       h.nextIPID(),
+		Src:      h.Addr,
+		Dst:      dst,
+	}).Marshal(body)
+	if err != nil {
+		return nil
+	}
+	return out
+}

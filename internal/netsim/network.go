@@ -1,0 +1,473 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// DefaultMaxSteps bounds the number of node traversals a single injected
+// packet (and the response it triggers) may make. Packets caught in
+// forwarding loops normally die by TTL expiry long before this guard.
+const DefaultMaxSteps = 1024
+
+// Network is a simulated IPv4 network: a set of routers and hosts joined by
+// point-to-point adjacencies (NextHop.Via names the remote interface).
+//
+// Exchange is the tracer-facing entry point: it injects a serialized probe
+// at the measurement source's gateway and returns whatever response packet
+// makes it back to the source, simulating both the forward and the return
+// path hop by hop.
+type Network struct {
+	mu sync.Mutex
+
+	routers     map[netip.Addr]*Router // every iface addr -> its router
+	hosts       map[netip.Addr]*Host
+	hostGateway map[netip.Addr]netip.Addr // host addr -> attachment iface
+
+	source    netip.Addr // the measurement source address
+	sourceGW  netip.Addr // interface the source's packets enter through
+	haveEntry bool
+
+	rng *rand.Rand
+	// RandomPerPacket selects random spreading for PerPacket balancers;
+	// when false, routers round-robin deterministically.
+	RandomPerPacket bool
+
+	maxSteps int
+
+	probeCount int
+	onSend     []func(count int, probe []byte)
+}
+
+// New creates an empty network. seed fixes all randomized behaviour
+// (per-packet balancing, probabilistic drops), keeping runs reproducible.
+func New(seed int64) *Network {
+	return &Network{
+		routers:         make(map[netip.Addr]*Router),
+		hosts:           make(map[netip.Addr]*Host),
+		hostGateway:     make(map[netip.Addr]netip.Addr),
+		rng:             rand.New(rand.NewSource(seed)),
+		RandomPerPacket: true,
+		maxSteps:        DefaultMaxSteps,
+	}
+}
+
+// AddRouter registers a router; each of its interface addresses becomes
+// routable within the network.
+func (n *Network) AddRouter(r *Router) *Router {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range r.ifaces {
+		if prev, ok := n.routers[a]; ok && prev != r {
+			panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
+		}
+		if _, ok := n.hosts[a]; ok {
+			panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
+		}
+		n.routers[a] = r
+	}
+	return r
+}
+
+// AddIface allocates a new interface on r with address a, registering it in
+// the network, and returns its interface index. Topology builders use this
+// to grow routers one adjacency at a time.
+func (n *Network) AddIface(r *Router, a netip.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.routers[a]; ok && prev != r {
+		panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
+	}
+	if _, ok := n.hosts[a]; ok {
+		panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
+	}
+	n.routers[a] = r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ifaces = append(r.ifaces, a)
+	return len(r.ifaces) - 1
+}
+
+// AttachHost registers a host and the router interface it hangs off.
+// Responses the host generates enter the network at gateway.
+func (n *Network) AttachHost(h *Host, gateway netip.Addr) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.routers[h.Addr]; ok {
+		panic(fmt.Sprintf("netsim: host address %v already owned by a router", h.Addr))
+	}
+	n.hosts[h.Addr] = h
+	n.hostGateway[h.Addr] = gateway
+	return h
+}
+
+// SetSource declares the measurement source address and the interface its
+// probes enter the network through (its first-hop gateway).
+func (n *Network) SetSource(src, gateway netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.source = src
+	n.sourceGW = gateway
+	n.haveEntry = true
+}
+
+// Source returns the measurement source address.
+func (n *Network) Source() netip.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.source
+}
+
+// RouterAt returns the router owning the given interface address.
+func (n *Network) RouterAt(a netip.Addr) (*Router, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.routers[a]
+	return r, ok
+}
+
+// HostAt returns the host owning the given address.
+func (n *Network) HostAt(a netip.Addr) (*Host, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[a]
+	return h, ok
+}
+
+// OnSend registers a hook invoked (outside the network lock) with the
+// running probe count and the serialized probe before each Exchange; the
+// hook must treat the probe as read-only. Routing-change and
+// forwarding-loop injection hang off this hook.
+func (n *Network) OnSend(f func(count int, probe []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onSend = append(n.onSend, f)
+}
+
+// ProbeCount returns the number of probes injected so far.
+func (n *Network) ProbeCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.probeCount
+}
+
+// Exchange injects the serialized IPv4 probe at the source gateway and
+// simulates forwarding until a response packet reaches the source, the
+// probe is dropped, or the step guard trips. It returns the serialized
+// response and the total number of node traversals (a latency proxy).
+// ok is false when no response comes back (a star).
+func (n *Network) Exchange(probe []byte) (resp []byte, steps int, ok bool) {
+	n.mu.Lock()
+	if !n.haveEntry {
+		n.mu.Unlock()
+		panic("netsim: SetSource not called")
+	}
+	n.probeCount++
+	count := n.probeCount
+	hooks := make([]func(int, []byte), len(n.onSend))
+	copy(hooks, n.onSend)
+	n.mu.Unlock()
+	for _, f := range hooks {
+		f(count, probe)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Copy: forwarding mutates TTL/checksum/src in place.
+	pkt := append([]byte(nil), probe...)
+	return n.run(pkt, n.sourceGW, false)
+}
+
+// run is the forwarding engine. pkt is located at interface `at`
+// (or originates at the router owning `at` when originated is true).
+// Must be called with n.mu held.
+func (n *Network) run(pkt []byte, at netip.Addr, originated bool) (resp []byte, steps int, ok bool) {
+	for ; steps < n.maxSteps; steps++ {
+		hdr, _, err := packet.ParseIPv4(pkt)
+		if err != nil {
+			return nil, steps, false
+		}
+
+		// Final delivery to the measurement source.
+		if at == n.source && hdr.Dst == n.source {
+			return pkt, steps, true
+		}
+
+		// Delivery to a host.
+		if h, isHost := n.hosts[at]; isHost {
+			if hdr.Dst != h.Addr {
+				return nil, steps, false // mis-delivered; drop
+			}
+			r := h.respond(pkt)
+			if r == nil {
+				return nil, steps, false
+			}
+			pkt, at, originated = r, n.hostGateway[h.Addr], false
+			continue
+		}
+
+		r, isRouter := n.routers[at]
+		if !isRouter {
+			return nil, steps, false // dangling adjacency
+		}
+
+		// Packet addressed to one of the router's own interfaces: the
+		// router behaves like a host (intermediate hops are pingable).
+		if !originated && r.ownsAddr(hdr.Dst) {
+			reply := n.routerRespondLocal(r, hdr.Dst, pkt)
+			if reply == nil {
+				return nil, steps, false
+			}
+			pkt, originated = reply, true
+			continue
+		}
+
+		if !originated {
+			done, reply := n.routerTTLCheck(r, at, pkt, hdr)
+			if done {
+				if reply == nil {
+					return nil, steps, false
+				}
+				pkt, originated = reply, true
+				continue
+			}
+		}
+
+		// Forwarding decision.
+		next, reply, dropped := n.routerForward(r, at, pkt, hdr, originated)
+		if dropped {
+			return nil, steps, false
+		}
+		if reply != nil {
+			pkt, originated = reply, true
+			continue
+		}
+		at, originated = next, false
+	}
+	return nil, steps, false
+}
+
+// routerTTLCheck applies TTL processing for a transit packet arriving at
+// router r. done=true means the packet will not be forwarded as-is: either
+// reply is the ICMP error the router originates, or nil for a silent drop.
+func (n *Network) routerTTLCheck(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4) (done bool, reply []byte) {
+	faults := r.faultsCopy()
+	switch {
+	case hdr.TTL == 0:
+		// Arrived already dead (zero-TTL forwarded upstream): quote TTL 0.
+		if faults.Silent {
+			return true, nil
+		}
+		return true, n.originateTimeExceeded(r, at, pkt, hdr)
+	case hdr.TTL == 1:
+		if faults.ZeroTTLForward {
+			// The Fig. 4 misbehaviour: forward with TTL 0.
+			if err := packet.PatchTTL(pkt, 0); err != nil {
+				return true, nil
+			}
+			return false, nil
+		}
+		if faults.Silent {
+			return true, nil
+		}
+		return true, n.originateTimeExceeded(r, at, pkt, hdr)
+	default:
+		if err := packet.PatchTTL(pkt, hdr.TTL-1); err != nil {
+			return true, nil
+		}
+		hdr.TTL--
+		return false, nil
+	}
+}
+
+// routerForward looks up and applies the forwarding decision for pkt at r.
+// Exactly one of (next, reply, dropped) is meaningful: a valid next means
+// the packet moves to that interface; reply is an originated ICMP error;
+// dropped means silence.
+func (n *Network) routerForward(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4, originated bool) (next netip.Addr, reply []byte, dropped bool) {
+	faults := r.faultsCopy()
+	isTransitProbe := !originated
+	if faults.Unreachable && isTransitProbe {
+		return netip.Addr{}, n.originateUnreachable(r, at, pkt, hdr, faults), false
+	}
+	if faults.ForwardOverride.IsValid() && !originated {
+		return faults.ForwardOverride, nil, false
+	}
+	rt, found := r.lookup(hdr.Dst)
+	if !found {
+		if originated {
+			return netip.Addr{}, nil, true // can't route our own ICMP; drop
+		}
+		return netip.Addr{}, n.originateUnreachable(r, at, pkt, hdr, faults), false
+	}
+	if faults.DropProbability > 0 && !originated && n.rng.Float64() < faults.DropProbability {
+		return netip.Addr{}, nil, true
+	}
+	var rng *rand.Rand
+	if n.RandomPerPacket {
+		rng = n.rng
+	}
+	hop, err := r.selectHop(rt, pkt, hdr.Dst, rng)
+	if err != nil {
+		return netip.Addr{}, nil, true
+	}
+	// NAT egress rewriting (Fig. 5): packets whose source lies inside the
+	// NAT prefix leaving for an outside adjacency get the public address.
+	nat := r.natCopy()
+	if nat.Enabled() && hdr.Src.Is4() && nat.Inside.Contains(hdr.Src) && !nat.Inside.Contains(hop.Via) {
+		if err := packet.PatchSrc(pkt, nat.Public); err == nil {
+			hdr.Src = nat.Public
+		}
+	}
+	return hop.Via, nil, false
+}
+
+// originateTimeExceeded builds the serialized ICMP Time Exceeded response
+// for pkt arriving on interface `at` of router r (quoting pkt as received,
+// per Section 2.2: normal behaviour quotes probe TTL 1).
+func (n *Network) originateTimeExceeded(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4) []byte {
+	if isICMPError(pkt) {
+		return nil // never generate ICMP about ICMP errors (RFC 792)
+	}
+	m, err := packet.TimeExceeded(pkt)
+	if err != nil {
+		return nil
+	}
+	return n.marshalFromRouter(r, at, hdr.Src, m)
+}
+
+func (n *Network) originateUnreachable(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4, faults Faults) []byte {
+	if faults.Silent || isICMPError(pkt) {
+		return nil
+	}
+	code := faults.UnreachableCode
+	if !faults.Unreachable && code == 0 {
+		code = packet.CodeNetUnreachable // no route: network unreachable
+	} else if faults.Unreachable && faults.UnreachableCode == 0 {
+		code = packet.CodeHostUnreachable
+	}
+	m, err := packet.DestUnreachable(code, pkt)
+	if err != nil {
+		return nil
+	}
+	return n.marshalFromRouter(r, at, hdr.Src, m)
+}
+
+func (n *Network) marshalFromRouter(r *Router, from, to netip.Addr, m *packet.ICMP) []byte {
+	body, err := m.Marshal()
+	if err != nil {
+		return nil
+	}
+	out, err := (&packet.IPv4{
+		TTL:      r.icmpTTLCopy(),
+		Protocol: packet.ProtoICMP,
+		ID:       r.nextIPID(),
+		Src:      from,
+		Dst:      to,
+	}).Marshal(body)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// routerRespondLocal answers a probe addressed to the router itself.
+func (n *Network) routerRespondLocal(r *Router, local netip.Addr, pkt []byte) []byte {
+	hdr, payload, err := packet.ParseIPv4(pkt)
+	if err != nil {
+		return nil
+	}
+	if r.faultsCopy().Silent {
+		return nil
+	}
+	switch hdr.Protocol {
+	case packet.ProtoUDP:
+		m, err := packet.DestUnreachable(packet.CodePortUnreachable, pkt)
+		if err != nil {
+			return nil
+		}
+		return n.marshalFromRouter(r, local, hdr.Src, m)
+	case packet.ProtoICMP:
+		em, err := packet.ParseICMP(payload)
+		if err != nil || em.Type != packet.ICMPTypeEchoRequest {
+			return nil
+		}
+		reply := &packet.ICMP{
+			Type:    packet.ICMPTypeEchoReply,
+			ID:      em.ID,
+			Seq:     em.Seq,
+			Payload: append([]byte(nil), em.Payload...),
+		}
+		return n.marshalFromRouter(r, local, hdr.Src, reply)
+	case packet.ProtoTCP:
+		th, _, _, err := packet.ParseTCP(payload)
+		if err != nil || th == nil {
+			return nil
+		}
+		seg, err := packet.MarshalTCP(local, hdr.Src, &packet.TCP{
+			SrcPort: th.DstPort,
+			DstPort: th.SrcPort,
+			Ack:     th.Seq + 1,
+			Flags:   packet.TCPRst | packet.TCPAck,
+			Window:  65535,
+		}, nil)
+		if err != nil {
+			return nil
+		}
+		out, err := (&packet.IPv4{
+			TTL:      r.icmpTTLCopy(),
+			Protocol: packet.ProtoTCP,
+			ID:       r.nextIPID(),
+			Src:      local,
+			Dst:      hdr.Src,
+		}).Marshal(seg)
+		if err != nil {
+			return nil
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// isICMPError reports whether the serialized packet is an ICMP error
+// message (which must never trigger further ICMP errors).
+func isICMPError(pkt []byte) bool {
+	hdr, payload, err := packet.ParseIPv4(pkt)
+	if err != nil || hdr.Protocol != packet.ProtoICMP || len(payload) < 1 {
+		return false
+	}
+	t := payload[0]
+	return t == packet.ICMPTypeTimeExceeded || t == packet.ICMPTypeDestUnreachable
+}
+
+func (r *Router) ownsAddr(a netip.Addr) bool {
+	for _, x := range r.ifaces {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Router) faultsCopy() Faults {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faults
+}
+
+func (r *Router) natCopy() NAT {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nat
+}
+
+func (r *Router) icmpTTLCopy() uint8 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.icmpTTL
+}

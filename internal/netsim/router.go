@@ -1,0 +1,338 @@
+// Package netsim is a deterministic packet-level IPv4 network simulator.
+//
+// It substitutes for the live Internet in the paper's measurement study
+// (see DESIGN.md, Substitutions). Probes are real serialized IPv4 packets;
+// routers parse them, hash actual header octets for per-flow load balancing,
+// decrement real TTLs with incremental checksum updates, and quote the true
+// on-the-wire bytes in ICMP errors — so the tracers built on top cannot
+// distinguish the simulator from a cooperative real network.
+//
+// The simulator reproduces every router behaviour the paper's anomaly
+// taxonomy depends on:
+//
+//   - equal-cost multipath with per-flow, per-packet, and per-destination
+//     balancing policies (Section 2.1);
+//   - ICMP Time Exceeded generation with correct probe-TTL quoting,
+//     including the zero-TTL-forwarding misbehaviour (Fig. 4);
+//   - Destination Unreachable generation when a route is withdrawn
+//     (the "unreachability message" loop cause, Section 4.1.1);
+//   - NAT boxes that rewrite the Source Address of ICMP messages
+//     originating inside their subnetwork (Fig. 5);
+//   - per-router IP ID counters and configurable initial response TTLs,
+//     the two observables Paris traceroute adds (Section 2.2);
+//   - transient forwarding loops and mid-trace routing changes
+//     (cycle causes, Section 4.2.1).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// Policy selects how a router spreads traffic over equal-cost next hops.
+type Policy int
+
+const (
+	// PerFlow forwards all packets of one flow to the same next hop.
+	PerFlow Policy = iota
+	// PerPacket spreads packets over next hops regardless of flow,
+	// focusing purely on maintaining an even load.
+	PerPacket
+	// PerDestination selects the next hop from the destination address
+	// only; from the measurement point of view this is equivalent to
+	// classic single-path routing.
+	PerDestination
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PerFlow:
+		return "per-flow"
+	case PerPacket:
+		return "per-packet"
+	case PerDestination:
+		return "per-destination"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// NextHop names an adjacency: the remote interface address the packet is
+// handed to. The remote address must belong to a Router or Host registered
+// in the same Network.
+type NextHop struct {
+	Via netip.Addr
+}
+
+// Route is a forwarding-table entry. When several next hops are present the
+// router balances across them according to Balance.
+type Route struct {
+	Prefix  netip.Prefix
+	Hops    []NextHop
+	Balance Policy
+	// FlowOpts configures flow-key extraction for PerFlow balancing.
+	// The zero value is the paper's observed router behaviour: hash the
+	// addresses, protocol, and first four transport octets.
+	FlowOpts flow.Options
+}
+
+// Faults configures deliberate misbehaviours of a router, each mapping to a
+// cause in the paper's anomaly taxonomy.
+type Faults struct {
+	// Silent suppresses all ICMP generation: probes expiring here appear
+	// as stars ('*') in traceroute output.
+	Silent bool
+	// ZeroTTLForward makes the router forward packets whose TTL it has
+	// just decremented to zero instead of discarding them — the
+	// misconfiguration behind Fig. 4's loops. The downstream router then
+	// answers with a quoted probe TTL of zero.
+	ZeroTTLForward bool
+	// Unreachable makes the router refuse to forward any transit packet:
+	// it answers probes with TTL 1 normally (Time Exceeded) but returns
+	// Destination Unreachable for anything it would have to forward,
+	// reproducing the "unreachability message" loop cause.
+	Unreachable bool
+	// UnreachableCode selects the Destination Unreachable code used when
+	// Unreachable is set (CodeHostUnreachable => "!H", CodeNetUnreachable
+	// => "!N"). Defaults to host-unreachable.
+	UnreachableCode uint8
+	// DropProbability drops forwarded packets at random with the given
+	// probability, producing mid-route stars.
+	DropProbability float64
+	// ForwardOverride, when valid, makes the router hand every transit
+	// packet to this adjacency regardless of its forwarding table. It is
+	// the transient forwarding-loop gadget: pointing it back at the
+	// upstream router makes packets ping-pong until their TTL expires,
+	// producing the paper's "truly cyclic routes" (Section 4.2.1).
+	ForwardOverride netip.Addr
+}
+
+// NAT configures source-address rewriting. A router with a valid NAT acts
+// as the gateway of Fig. 5: any packet leaving Inside (source address within
+// Inside, next hop outside it) has its Source Address replaced with Public.
+type NAT struct {
+	Public netip.Addr
+	Inside netip.Prefix
+}
+
+// Enabled reports whether the NAT configuration is active.
+func (n NAT) Enabled() bool { return n.Public.IsValid() }
+
+// Router is a simulated network-layer device.
+type Router struct {
+	Name string
+
+	// ifaces lists the router's interface addresses; index = interface
+	// number as drawn in the paper's figures (A0, A1, ...).
+	ifaces []netip.Addr
+
+	table []Route
+	// host32 indexes /32 entries of table for O(1) lookup; campaign
+	// topologies install one host route per destination along each path,
+	// so core routers carry thousands of them.
+	host32 map[netip.Addr]int
+
+	// ipID is the router's internal 16-bit counter stamped into the IP ID
+	// of every packet it originates, "usually incremented for each packet
+	// sent" (Section 2.2).
+	ipID uint16
+	// ipIDStride is the counter increment per originated packet; real
+	// routers also emit non-measurement traffic, so strides >1 model a
+	// busy box.
+	ipIDStride uint16
+
+	// icmpTTL is the initial TTL of ICMP messages this router originates.
+	// Most routers use 255 (Section 4.1.1); some stacks use 64 or 128.
+	icmpTTL uint8
+
+	faults Faults
+	nat    NAT
+
+	// perPacketCounter drives round-robin PerPacket balancing when the
+	// network is configured for deterministic (non-random) spreading.
+	perPacketCounter uint64
+
+	mu sync.Mutex
+}
+
+// NewRouter creates a router with the given name and interface addresses.
+// Interface 0 is conventionally the upstream (source-facing) interface.
+func NewRouter(name string, ifaces ...netip.Addr) *Router {
+	return &Router{
+		Name:       name,
+		ifaces:     append([]netip.Addr(nil), ifaces...),
+		icmpTTL:    255,
+		ipIDStride: 1,
+	}
+}
+
+// Iface returns the address of interface i.
+func (r *Router) Iface(i int) netip.Addr {
+	if i < 0 || i >= len(r.ifaces) {
+		panic(fmt.Sprintf("netsim: router %s has no interface %d", r.Name, i))
+	}
+	return r.ifaces[i]
+}
+
+// NumIfaces returns the number of interfaces.
+func (r *Router) NumIfaces() int { return len(r.ifaces) }
+
+// AddRoute appends a forwarding-table entry. Entries are matched by longest
+// prefix; ties go to the earliest entry.
+func (r *Router) AddRoute(rt Route) *Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addRouteLocked(rt)
+	return r
+}
+
+func (r *Router) addRouteLocked(rt Route) {
+	r.table = append(r.table, rt)
+	if rt.Prefix.Bits() == 32 {
+		if r.host32 == nil {
+			r.host32 = make(map[netip.Addr]int)
+		}
+		r.host32[rt.Prefix.Addr()] = len(r.table) - 1
+	}
+}
+
+// RewriteRoutes applies f to every forwarding-table entry, replacing each
+// with its return value. Routing-change injection (mid-trace flips,
+// transient forwarding loops) uses this to mutate tables atomically.
+func (r *Router) RewriteRoutes(f func(Route) Route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.table
+	r.table = nil
+	r.host32 = nil
+	for _, rt := range old {
+		r.addRouteLocked(f(rt))
+	}
+}
+
+// SetRoutes replaces the entire forwarding table (used by routing-change
+// injection between or during traces).
+func (r *Router) SetRoutes(rts []Route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table = nil
+	r.host32 = nil
+	for _, rt := range rts {
+		r.addRouteLocked(rt)
+	}
+}
+
+// Routes returns a copy of the forwarding table.
+func (r *Router) Routes() []Route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Route(nil), r.table...)
+}
+
+// SetFaults replaces the router's fault configuration.
+func (r *Router) SetFaults(f Faults) *Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = f
+	return r
+}
+
+// SetNAT configures source rewriting for packets leaving the inside prefix.
+func (r *Router) SetNAT(n NAT) *Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nat = n
+	return r
+}
+
+// SetICMPTTL sets the initial TTL for ICMP messages this router originates.
+func (r *Router) SetICMPTTL(ttl uint8) *Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.icmpTTL = ttl
+	return r
+}
+
+// SetIPIDStride sets the per-packet increment of the router's IP ID counter.
+func (r *Router) SetIPIDStride(stride uint16) *Router {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if stride == 0 {
+		stride = 1
+	}
+	r.ipIDStride = stride
+	return r
+}
+
+// nextIPID advances and returns the router's IP ID counter.
+func (r *Router) nextIPID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ipID += r.ipIDStride
+	return r.ipID
+}
+
+// lookup performs longest-prefix-match on the forwarding table, consulting
+// the /32 index first.
+func (r *Router) lookup(dst netip.Addr) (Route, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.host32[dst]; ok {
+		return r.table[i], true
+	}
+	best := -1
+	bestLen := -1
+	for i, rt := range r.table {
+		if rt.Prefix.Bits() == 32 {
+			continue // covered by the index
+		}
+		if rt.Prefix.Contains(dst) && rt.Prefix.Bits() > bestLen {
+			best, bestLen = i, rt.Prefix.Bits()
+		}
+	}
+	if best < 0 {
+		return Route{}, false
+	}
+	return r.table[best], true
+}
+
+// selectHop chooses one of the route's equal-cost next hops for pkt.
+func (r *Router) selectHop(rt Route, pkt []byte, dst netip.Addr, rng *rand.Rand) (NextHop, error) {
+	n := len(rt.Hops)
+	if n == 0 {
+		return NextHop{}, fmt.Errorf("netsim: route %v on %s has no next hops", rt.Prefix, r.Name)
+	}
+	if n == 1 {
+		return rt.Hops[0], nil
+	}
+	switch rt.Balance {
+	case PerFlow:
+		k, err := flow.Extract(pkt, rt.FlowOpts)
+		if err != nil {
+			return NextHop{}, err
+		}
+		return rt.Hops[k.Bucket(n)], nil
+	case PerPacket:
+		if rng != nil {
+			return rt.Hops[rng.Intn(n)], nil
+		}
+		r.mu.Lock()
+		i := int(r.perPacketCounter % uint64(n))
+		r.perPacketCounter++
+		r.mu.Unlock()
+		return rt.Hops[i], nil
+	case PerDestination:
+		k, err := flow.Extract(pkt, flow.Options{Kind: flow.KeyDestination})
+		if err != nil {
+			return NextHop{}, err
+		}
+		return rt.Hops[k.Bucket(n)], nil
+	default:
+		return NextHop{}, fmt.Errorf("netsim: unknown balance policy %v", rt.Balance)
+	}
+}

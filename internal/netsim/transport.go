@@ -1,0 +1,33 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Transport adapts a Network to the tracer.Transport interface: one
+// synchronous probe/response exchange per call, with a synthetic RTT
+// proportional to the number of node traversals.
+type Transport struct {
+	net *Network
+	// PerHop is the synthetic one-way per-node latency used to derive
+	// RTTs. Zero selects a 500µs default.
+	PerHop time.Duration
+}
+
+// NewTransport wraps the network for use by tracers.
+func NewTransport(n *Network) *Transport {
+	return &Transport{net: n, PerHop: 500 * time.Microsecond}
+}
+
+// Exchange implements the tracer Transport contract.
+func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	resp, steps, ok := t.net.Exchange(probe)
+	if !ok {
+		return nil, 0, false
+	}
+	return resp, time.Duration(steps) * t.PerHop, true
+}
+
+// Source implements the tracer Transport contract.
+func (t *Transport) Source() netip.Addr { return t.net.Source() }

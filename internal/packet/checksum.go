@@ -1,0 +1,51 @@
+// Package packet implements the IPv4, UDP, TCP and ICMPv4 wire formats used
+// by both the tracers and the simulated network.
+//
+// Everything is built from scratch on the standard library. Packets travel
+// through the rest of the system as serialized byte slices so that routers
+// (internal/netsim) operate on exactly the header octets a real device would
+// hash for per-flow load balancing, and so that ICMP error quoting carries
+// the true on-the-wire probe bytes back to the tracer.
+//
+// The package also provides the checksum-targeted payload crafting that is
+// the heart of Paris traceroute's UDP probing: choosing payload bytes so the
+// UDP checksum equals a caller-selected value (Section 2.2 of the paper).
+package packet
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+// If b has odd length it is implicitly zero-padded to an even length.
+func Checksum(b []byte) uint16 {
+	return finish(sum(b))
+}
+
+// sum accumulates the 16-bit one's-complement sum of b without folding.
+func sum(b []byte) uint32 {
+	var s uint32
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		s += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)&1 == 1 {
+		s += uint32(b[len(b)-1]) << 8
+	}
+	return s
+}
+
+// finish folds the carries of a running sum and returns its one's complement.
+func finish(s uint32) uint16 {
+	for s>>16 != 0 {
+		s = (s & 0xffff) + s>>16
+	}
+	return ^uint16(s)
+}
+
+// onesAdd returns the one's-complement 16-bit sum a + b.
+func onesAdd(a, b uint16) uint16 {
+	s := uint32(a) + uint32(b)
+	return uint16(s&0xffff) + uint16(s>>16)
+}
+
+// onesSub returns the one's-complement 16-bit difference a - b.
+func onesSub(a, b uint16) uint16 {
+	return onesAdd(a, ^b)
+}

@@ -1,0 +1,109 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownVectors(t *testing.T) {
+	// RFC 1071 worked example: bytes 00 01 f2 03 f4 f5 f6 f7 sum to
+	// ddf2 (before complement).
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got, want := Checksum(b), uint16(^uint16(0xddf2)); got != want {
+		t.Errorf("Checksum(%x) = %#04x, want %#04x", b, got, want)
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if got := Checksum(nil); got != 0xffff {
+		t.Errorf("Checksum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length input is implicitly zero-padded.
+	odd := Checksum([]byte{0x12, 0x34, 0x56})
+	even := Checksum([]byte{0x12, 0x34, 0x56, 0x00})
+	if odd != even {
+		t.Errorf("odd-length checksum %#04x != padded %#04x", odd, even)
+	}
+}
+
+// TestChecksumVerifiesToZero: appending a message's checksum to the message
+// makes the whole sum verify (fold to 0xffff, complement 0).
+func TestChecksumVerifiesToZero(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 != 0 {
+			data = append(data, 0)
+		}
+		ck := Checksum(data)
+		whole := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(whole) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesAddCommutesAndWraps(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return onesAdd(a, b) == onesAdd(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// End-around carry: 0xffff + 1 folds to 1.
+	if got := onesAdd(0xffff, 0x0001); got != 0x0001 {
+		t.Errorf("onesAdd(0xffff, 1) = %#04x, want 0x0001", got)
+	}
+}
+
+func TestOnesSubInvertsAdd(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s := onesAdd(a, b)
+		back := onesSub(s, b)
+		// One's complement has two zero representations; compare modulo
+		// that ambiguity.
+		return back == a || onesAdd(back, 0) == onesAdd(a, 0) ||
+			(a == 0 && back == 0xffff) || (a == 0xffff && back == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumIncrementalEquivalence(t *testing.T) {
+	// Changing one 16-bit word and patching via RFC 1624 must match a
+	// full recompute. This is the invariant PatchTTL/PatchSrc rely on.
+	f := func(data []byte, idx uint8, newWord uint16) bool {
+		if len(data) < 4 {
+			return true
+		}
+		if len(data)%2 != 0 {
+			data = data[:len(data)-1]
+		}
+		i := int(idx) % (len(data) / 2) * 2
+		old := uint16(data[i])<<8 | uint16(data[i+1])
+		ck := Checksum(data)
+		patched := ^onesAdd(onesAdd(^ck, ^old), newWord)
+		data[i] = byte(newWord >> 8)
+		data[i+1] = byte(newWord)
+		return patched == Checksum(data) ||
+			// full recompute may produce the alternate zero
+			onesAdd(^patched, 0) == onesAdd(^Checksum(data), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	buf := make([]byte, 1500)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}

@@ -1,0 +1,173 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// ICMPv4 message types used by traceroute.
+const (
+	ICMPTypeEchoReply       = 0
+	ICMPTypeDestUnreachable = 3
+	ICMPTypeEchoRequest     = 8
+	ICMPTypeTimeExceeded    = 11
+)
+
+// Destination Unreachable codes (RFC 792).
+const (
+	CodeNetUnreachable   = 0
+	CodeHostUnreachable  = 1
+	CodeProtoUnreachable = 2
+	CodePortUnreachable  = 3
+)
+
+// Time Exceeded codes.
+const (
+	CodeTTLExceeded      = 0
+	CodeFragReassexceded = 1
+)
+
+// ICMPHeaderLen is the length of the fixed four-octet ICMP header plus the
+// four octets of type-specific data (rest of header).
+const ICMPHeaderLen = 8
+
+// ICMP is a parsed ICMPv4 message. For Echo Request/Reply, ID and Seq hold
+// the identifier and sequence number and Payload the echo data. For error
+// messages (Time Exceeded, Destination Unreachable), Payload holds the
+// quoted packet: the offending IP header plus at least its first eight
+// payload octets (RFC 792).
+type ICMP struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID       uint16 // Echo identifier (error messages: unused field high half)
+	Seq      uint16 // Echo sequence number (error messages: unused field low half)
+	Payload  []byte
+}
+
+// IsError reports whether the message quotes an offending packet.
+func (m *ICMP) IsError() bool {
+	return m.Type == ICMPTypeTimeExceeded || m.Type == ICMPTypeDestUnreachable
+}
+
+// Marshal serializes the ICMP message with a correct checksum.
+func (m *ICMP) Marshal() ([]byte, error) {
+	b := make([]byte, ICMPHeaderLen+len(m.Payload))
+	b[0] = m.Type
+	b[1] = m.Code
+	put16(b[4:], m.ID)
+	put16(b[6:], m.Seq)
+	copy(b[8:], m.Payload)
+	put16(b[2:], Checksum(b))
+	return b, nil
+}
+
+// ParseICMP decodes an ICMPv4 message.
+func ParseICMP(b []byte) (*ICMP, error) {
+	if len(b) < ICMPHeaderLen {
+		return nil, ErrTruncated
+	}
+	return &ICMP{
+		Type:     b[0],
+		Code:     b[1],
+		Checksum: get16(b[2:]),
+		ID:       get16(b[4:]),
+		Seq:      get16(b[6:]),
+		Payload:  b[8:],
+	}, nil
+}
+
+// VerifyICMPChecksum reports whether the serialized ICMP message msg has a
+// valid checksum.
+func VerifyICMPChecksum(msg []byte) bool {
+	if len(msg) < ICMPHeaderLen {
+		return false
+	}
+	return Checksum(msg) == 0
+}
+
+// EchoChecksum returns the checksum an Echo message with the given fields
+// will carry on the wire. Classic traceroute varies Seq (and therefore this
+// checksum — the flow identifier); Paris traceroute picks ID so that the
+// checksum stays constant (see CompensatingEchoID).
+func EchoChecksum(typ, code uint8, id, seq uint16, payload []byte) uint16 {
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = typ
+	b[1] = code
+	put16(b[4:], id)
+	put16(b[6:], seq)
+	copy(b[8:], payload)
+	return Checksum(b)
+}
+
+// CompensatingEchoID returns the Echo Identifier that keeps the ICMP
+// checksum equal to target when the sequence number is seq, for an Echo
+// Request with the given payload. This is Paris traceroute's ICMP
+// technique: Seq still varies per probe (for matching) but ID absorbs the
+// variation so the checksum — which per-flow load balancers hash, since it
+// sits in the first four transport octets — never changes.
+func CompensatingEchoID(seq, target uint16, payload []byte) (uint16, error) {
+	// checksum = ^fold(base + id + seq) where base covers type/code/payload.
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = ICMPTypeEchoRequest
+	copy(b[8:], payload)
+	base := ^finish(sum(b)) // folded sum with id=seq=0
+	id := onesSub(onesSub(^target, base), seq)
+	got := EchoChecksum(ICMPTypeEchoRequest, 0, id, seq, payload)
+	if got != target {
+		// One's-complement zero ambiguity (0x0000 vs 0xffff) can shift the
+		// result by one representation; nudge via the alternate zero.
+		if alt := onesAdd(id, 0xffff); EchoChecksum(ICMPTypeEchoRequest, 0, alt, seq, payload) == target {
+			return alt, nil
+		}
+		return 0, fmt.Errorf("packet: cannot reach ICMP checksum %#04x with seq %#04x", target, seq)
+	}
+	return id, nil
+}
+
+// TimeExceeded builds the ICMP Time Exceeded message a router generates when
+// it discards the serialized IP packet quoted. Per RFC 792 the quote is the
+// offending IP header plus its first eight payload octets.
+func TimeExceeded(quoted []byte) (*ICMP, error) {
+	q, err := QuotePacket(quoted)
+	if err != nil {
+		return nil, err
+	}
+	return &ICMP{Type: ICMPTypeTimeExceeded, Code: CodeTTLExceeded, Payload: q}, nil
+}
+
+// DestUnreachable builds an ICMP Destination Unreachable with the given code
+// quoting the offending packet.
+func DestUnreachable(code uint8, quoted []byte) (*ICMP, error) {
+	q, err := QuotePacket(quoted)
+	if err != nil {
+		return nil, err
+	}
+	return &ICMP{Type: ICMPTypeDestUnreachable, Code: code, Payload: q}, nil
+}
+
+// QuotePacket returns the RFC 792 quotation of a serialized IP packet: its
+// IP header (with options) plus the first eight octets of its payload. The
+// returned slice is a copy.
+func QuotePacket(pkt []byte) ([]byte, error) {
+	h, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		return nil, fmt.Errorf("packet: cannot quote: %w", err)
+	}
+	n := 8
+	if len(payload) < n {
+		n = len(payload)
+	}
+	q := make([]byte, h.HeaderLen()+n)
+	copy(q, pkt[:h.HeaderLen()])
+	copy(q[h.HeaderLen():], payload[:n])
+	return q, nil
+}
+
+// ParseQuoted parses the packet quoted inside an ICMP error message,
+// returning the inner IP header and the (truncated) transport octets.
+func ParseQuoted(m *ICMP) (*IPv4, []byte, error) {
+	if !m.IsError() {
+		return nil, nil, fmt.Errorf("packet: ICMP type %d carries no quoted packet", m.Type)
+	}
+	return ParseIPv4(m.Payload)
+}

@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a parsed UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// MarshalUDP serializes a UDP datagram (header + payload) with a correct
+// checksum over the IPv4 pseudo-header for src/dst.
+func MarshalUDP(src, dst netip.Addr, h *UDP, payload []byte) ([]byte, error) {
+	length := UDPHeaderLen + len(payload)
+	if length > 0xffff {
+		return nil, fmt.Errorf("packet: UDP datagram too large (%d bytes)", length)
+	}
+	b := make([]byte, length)
+	put16(b[0:], h.SrcPort)
+	put16(b[2:], h.DstPort)
+	put16(b[4:], uint16(length))
+	copy(b[8:], payload)
+	ck := udpChecksum(src, dst, b)
+	if ck == 0 {
+		ck = 0xffff // RFC 768: transmitted as all ones if computed zero
+	}
+	put16(b[6:], ck)
+	return b, nil
+}
+
+// ParseUDP decodes the UDP header at the front of b and returns the payload
+// (aliasing b). Quoted datagrams inside ICMP errors may be truncated to the
+// first eight octets; the returned payload is then empty.
+func ParseUDP(b []byte) (*UDP, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	h := &UDP{
+		SrcPort:  get16(b[0:]),
+		DstPort:  get16(b[2:]),
+		Length:   get16(b[4:]),
+		Checksum: get16(b[6:]),
+	}
+	end := int(h.Length)
+	if end < UDPHeaderLen || end > len(b) {
+		end = len(b)
+	}
+	return h, b[UDPHeaderLen:end], nil
+}
+
+// udpChecksum computes the UDP checksum of the serialized datagram dgram
+// (checksum field treated as zero) over the pseudo-header for src/dst.
+func udpChecksum(src, dst netip.Addr, dgram []byte) uint16 {
+	s := pseudoHeaderSum(src, dst, ProtoUDP, len(dgram))
+	s += sum(dgram[:6])
+	s += sum(dgram[8:])
+	return finish(s)
+}
+
+// VerifyUDPChecksum reports whether the serialized datagram's checksum is
+// valid for the given pseudo-header addresses. A wire checksum of zero means
+// "no checksum" and verifies trivially.
+func VerifyUDPChecksum(src, dst netip.Addr, dgram []byte) bool {
+	if len(dgram) < UDPHeaderLen {
+		return false
+	}
+	wire := get16(dgram[6:])
+	if wire == 0 {
+		return true
+	}
+	want := udpChecksum(src, dst, dgram)
+	if want == 0 {
+		want = 0xffff
+	}
+	return wire == want
+}
+
+// CraftUDPPayload returns a payload of length n (n >= 2) such that the UDP
+// datagram with header h sent from src to dst has exactly the checksum
+// target. This is Paris traceroute's UDP technique: the checksum becomes the
+// varying probe identifier while the ports — the flow identifier — stay
+// constant.
+//
+// target must be nonzero: a zero UDP checksum means "not computed" and would
+// be rewritten to 0xffff on the wire, breaking probe matching.
+func CraftUDPPayload(src, dst netip.Addr, h *UDP, target uint16, n int) ([]byte, error) {
+	if target == 0 {
+		return nil, fmt.Errorf("packet: cannot craft a zero UDP checksum (means no-checksum on the wire)")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("packet: need at least 2 payload bytes to absorb the checksum, got %d", n)
+	}
+	length := UDPHeaderLen + n
+	// Sum of pseudo-header plus header (checksum field zero) plus the n-2
+	// trailing zero payload bytes; the first payload word x must satisfy
+	// finish(s + x) == target, i.e. x = ^target - fold(s) in one's complement.
+	var hdr [UDPHeaderLen]byte
+	put16(hdr[0:], h.SrcPort)
+	put16(hdr[2:], h.DstPort)
+	put16(hdr[4:], uint16(length))
+	s := pseudoHeaderSum(src, dst, ProtoUDP, length)
+	s += sum(hdr[:6])
+	folded := ^finish(s) // one's-complement fold of s
+	x := onesSub(^target, folded)
+	payload := make([]byte, n)
+	payload[0] = byte(x >> 8)
+	payload[1] = byte(x)
+	return payload, nil
+}

@@ -1,0 +1,109 @@
+package tracer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rolesFor(t *testing.T, mk func(Transport) Tracer) map[string]FieldRole {
+	t.Helper()
+	roles, err := HeaderRoles(mk, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]FieldRole, len(roles))
+	for _, r := range roles {
+		m[r.Field] = r
+	}
+	return m
+}
+
+// TestHeaderFieldRoles regenerates the paper's Fig. 2 claims from the
+// actual probe bytes each engine emits.
+func TestHeaderFieldRoles(t *testing.T) {
+	opts := Options{MaxTTL: 8, MaxConsecutiveStars: 100}
+
+	classicUDP := rolesFor(t, func(tp Transport) Tracer { return NewClassicUDP(tp, opts) })
+	if !classicUDP["udp.dport"].Varies {
+		t.Error("classic UDP must vary the destination port (#)")
+	}
+	if !ViolatesFlowConstancy([]FieldRole{classicUDP["udp.dport"]}) {
+		t.Error("classic UDP's varying dport must be flagged as load-balanced")
+	}
+
+	parisUDP := rolesFor(t, func(tp Transport) Tracer { return NewParisUDP(tp, opts) })
+	if parisUDP["udp.sport"].Varies || parisUDP["udp.dport"].Varies {
+		t.Error("paris UDP must hold both ports constant")
+	}
+	if !parisUDP["udp.checksum"].Varies {
+		t.Error("paris UDP must vary the checksum (*)")
+	}
+	if parisUDP["udp.checksum"].LoadBalanced {
+		t.Error("the UDP checksum is outside the first four octets; not load-balanced")
+	}
+
+	classicICMP := rolesFor(t, func(tp Transport) Tracer { return NewClassicICMP(tp, opts) })
+	if !classicICMP["icmp.seq"].Varies || !classicICMP["icmp.checksum"].Varies {
+		t.Error("classic ICMP must vary seq and therefore the checksum (#)")
+	}
+
+	parisICMP := rolesFor(t, func(tp Transport) Tracer { return NewParisICMP(tp, opts) })
+	if !parisICMP["icmp.seq"].Varies || !parisICMP["icmp.id"].Varies {
+		t.Error("paris ICMP must vary both seq and the compensating id (*)")
+	}
+	if parisICMP["icmp.checksum"].Varies {
+		t.Error("paris ICMP must keep the checksum — the flow identifier — constant")
+	}
+
+	tcpT := rolesFor(t, func(tp Transport) Tracer { return NewTCPTraceroute(tp, opts) })
+	if !tcpT["ip.id"].Varies {
+		t.Error("tcptraceroute must vary the IP Identification field (+)")
+	}
+	if tcpT["tcp.sport"].Varies || tcpT["tcp.dport"].Varies || tcpT["tcp.seq"].Varies {
+		t.Error("tcptraceroute keeps TCP fields constant")
+	}
+
+	parisTCP := rolesFor(t, func(tp Transport) Tracer { return NewParisTCP(tp, opts) })
+	if !parisTCP["tcp.seq"].Varies {
+		t.Error("paris TCP must vary the sequence number (*)")
+	}
+	if parisTCP["tcp.sport"].Varies || parisTCP["tcp.dport"].Varies {
+		t.Error("paris TCP must hold ports constant")
+	}
+
+	// The headline of Fig. 2: classic tools violate flow constancy, the
+	// flow-stable tools do not.
+	for name, tc := range map[string]struct {
+		roles    map[string]FieldRole
+		violates bool
+	}{
+		"classic-udp":   {classicUDP, true},
+		"classic-icmp":  {classicICMP, true},
+		"paris-udp":     {parisUDP, false},
+		"paris-icmp":    {parisICMP, false},
+		"paris-tcp":     {parisTCP, false},
+		"tcptraceroute": {tcpT, false},
+	} {
+		var all []FieldRole
+		for _, r := range tc.roles {
+			all = append(all, r)
+		}
+		if got := ViolatesFlowConstancy(all); got != tc.violates {
+			t.Errorf("%s: ViolatesFlowConstancy = %v, want %v", name, got, tc.violates)
+		}
+	}
+}
+
+func TestWriteHeaderRolesTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeaderRolesTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classic-udp", "paris-tcp", "FLOW IDENTIFIER VARIES", "flow constant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

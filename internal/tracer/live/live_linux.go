@@ -1,0 +1,158 @@
+//go:build linux
+
+// Package live provides a tracer.Transport over real raw sockets: probes
+// are injected with IP_HDRINCL so every header field the engines craft
+// (TTL, IP ID, UDP checksum payloads, compensated ICMP identifiers) goes on
+// the wire verbatim, and ICMP responses are read from a raw ICMP socket.
+//
+// Root (or CAP_NET_RAW) is required, exactly as for the original
+// paris-traceroute tool. Nothing in the repository's tests depends on this
+// package touching the network; the simulator is the hermetic substrate.
+package live
+
+import (
+	"fmt"
+	"net/netip"
+	"syscall"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Transport sends serialized IPv4 probes on a raw socket and matches ICMP
+// responses by their quoted payload.
+type Transport struct {
+	src     netip.Addr
+	sendFD  int
+	recvFD  int
+	timeout time.Duration
+}
+
+// New opens the raw sockets. src must be the local address probes will
+// carry; timeout bounds each Exchange (the paper uses 2 s).
+func New(src netip.Addr, timeout time.Duration) (*Transport, error) {
+	if !src.Is4() {
+		return nil, fmt.Errorf("live: need an IPv4 source, got %v", src)
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	sendFD, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_RAW)
+	if err != nil {
+		return nil, fmt.Errorf("live: raw send socket (need root/CAP_NET_RAW): %w", err)
+	}
+	if err := syscall.SetsockoptInt(sendFD, syscall.IPPROTO_IP, syscall.IP_HDRINCL, 1); err != nil {
+		syscall.Close(sendFD)
+		return nil, fmt.Errorf("live: IP_HDRINCL: %w", err)
+	}
+	recvFD, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_ICMP)
+	if err != nil {
+		syscall.Close(sendFD)
+		return nil, fmt.Errorf("live: raw receive socket: %w", err)
+	}
+	return &Transport{src: src, sendFD: sendFD, recvFD: recvFD, timeout: timeout}, nil
+}
+
+// Close releases both sockets.
+func (t *Transport) Close() error {
+	e1 := syscall.Close(t.sendFD)
+	e2 := syscall.Close(t.recvFD)
+	if e1 != nil {
+		return e1
+	}
+	return e2
+}
+
+// Source implements tracer.Transport.
+func (t *Transport) Source() netip.Addr { return t.src }
+
+// Exchange implements tracer.Transport: send one probe, wait for an ICMP
+// message quoting it (or addressed to us about it), up to the timeout.
+func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	hdr, _, err := packet.ParseIPv4(probe)
+	if err != nil {
+		return nil, 0, false
+	}
+	dst := hdr.Dst.As4()
+	sa := &syscall.SockaddrInet4{Addr: dst}
+	start := time.Now()
+	if err := syscall.Sendto(t.sendFD, probe, 0, sa); err != nil {
+		return nil, 0, false
+	}
+	deadline := start.Add(t.timeout)
+	buf := make([]byte, 1500)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, 0, false
+		}
+		tv := syscall.NsecToTimeval(remain.Nanoseconds())
+		if err := syscall.SetsockoptTimeval(t.recvFD, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv); err != nil {
+			return nil, 0, false
+		}
+		n, _, err := syscall.Recvfrom(t.recvFD, buf, 0)
+		if err != nil {
+			if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR {
+				continue
+			}
+			return nil, 0, false
+		}
+		resp := append([]byte(nil), buf[:n]...)
+		if t.responseMatches(resp, probe) {
+			return resp, time.Since(start), true
+		}
+		// Unrelated ICMP traffic: keep listening until the deadline.
+	}
+}
+
+// responseMatches performs a first-pass filter: the response must be ICMP
+// and either quote our probe (error messages) or answer our Echo. Fine-
+// grained matching happens in the tracer engines.
+func (t *Transport) responseMatches(resp, probe []byte) bool {
+	rh, payload, err := packet.ParseIPv4(resp)
+	if err != nil || rh.Protocol != packet.ProtoICMP {
+		return false
+	}
+	m, err := packet.ParseICMP(payload)
+	if err != nil {
+		return false
+	}
+	ph, _, err := packet.ParseIPv4(probe)
+	if err != nil {
+		return false
+	}
+	if m.IsError() {
+		inner, _, err := packet.ParseQuoted(m)
+		if err != nil {
+			return false
+		}
+		return inner.Src == ph.Src && inner.Dst == ph.Dst && inner.Protocol == ph.Protocol
+	}
+	// Echo replies: only relevant for ICMP probing toward this probe's
+	// destination.
+	return ph.Protocol == packet.ProtoICMP && rh.Src == ph.Dst
+}
+
+// LocalIPv4 guesses the host's primary IPv4 address by opening a UDP
+// socket toward a public address (no packets are sent).
+func LocalIPv4() (netip.Addr, error) {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM, 0)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	defer syscall.Close(fd)
+	if err := syscall.Connect(fd, &syscall.SockaddrInet4{
+		Addr: [4]byte{192, 0, 2, 1}, Port: 53,
+	}); err != nil {
+		return netip.Addr{}, err
+	}
+	sa, err := syscall.Getsockname(fd)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	sa4, ok := sa.(*syscall.SockaddrInet4)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("live: unexpected sockaddr %T", sa)
+	}
+	return netip.AddrFrom4(sa4.Addr), nil
+}

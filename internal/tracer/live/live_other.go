@@ -1,0 +1,38 @@
+//go:build !linux
+
+// Package live provides a tracer.Transport over real raw sockets on Linux.
+// On other platforms the constructor reports that raw-socket probing is
+// unavailable; the simulated transport (netsim.NewTransport) remains fully
+// functional everywhere.
+package live
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"time"
+)
+
+// Transport is unavailable on this platform.
+type Transport struct{}
+
+// New always fails off Linux.
+func New(src netip.Addr, timeout time.Duration) (*Transport, error) {
+	return nil, fmt.Errorf("live: raw-socket probing unsupported on %s", runtime.GOOS)
+}
+
+// Close implements io.Closer for symmetry.
+func (t *Transport) Close() error { return nil }
+
+// Source panics: the transport cannot be constructed on this platform.
+func (t *Transport) Source() netip.Addr { panic("live: unavailable") }
+
+// Exchange panics: the transport cannot be constructed on this platform.
+func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	panic("live: unavailable")
+}
+
+// LocalIPv4 is unavailable off Linux.
+func LocalIPv4() (netip.Addr, error) {
+	return netip.Addr{}, fmt.Errorf("live: unsupported on %s", runtime.GOOS)
+}

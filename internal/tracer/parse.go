@@ -1,0 +1,176 @@
+package tracer
+
+import (
+	"net/netip"
+
+	"repro/internal/packet"
+)
+
+// expect describes how to recognise the response to one probe. The fields a
+// discipline fills in mirror the header fields it varies — the mechanism the
+// paper analyses in Section 2.1.
+type expect struct {
+	dest netip.Addr
+	// proto is the probe's transport protocol.
+	proto uint8
+	// For UDP probes.
+	udpSrcPort, udpDstPort uint16
+	udpChecksum            uint16 // Paris: match on checksum
+	matchUDPPort           bool   // classic: match on dst port
+	matchUDPChecksum       bool
+	// For ICMP Echo probes.
+	icmpID, icmpSeq uint16
+	matchICMPSeq    bool
+	// For TCP probes.
+	tcpSrcPort, tcpDstPort uint16
+	tcpSeq                 uint32
+	matchTCPSeq            bool
+	matchIPID              bool
+	ipID                   uint16 // tcptraceroute: match on the probe's IP ID
+}
+
+// parseResponse decodes a serialized response packet into a Hop and applies
+// strict probe/response matching against exp.
+func parseResponse(resp []byte, exp expect) Hop {
+	h := Hop{ProbeTTL: -1}
+	outer, payload, err := packet.ParseIPv4(resp)
+	if err != nil {
+		return h
+	}
+	h.Addr = outer.Src
+	h.RespTTL = int(outer.TTL)
+	h.IPID = outer.ID
+
+	switch outer.Protocol {
+	case packet.ProtoICMP:
+		m, err := packet.ParseICMP(payload)
+		if err != nil {
+			h.Mismatched = true
+			return h
+		}
+		switch m.Type {
+		case packet.ICMPTypeTimeExceeded:
+			h.Kind = KindTimeExceeded
+		case packet.ICMPTypeDestUnreachable:
+			switch m.Code {
+			case packet.CodePortUnreachable:
+				h.Kind = KindPortUnreachable
+			case packet.CodeHostUnreachable:
+				h.Kind = KindHostUnreachable
+			case packet.CodeNetUnreachable:
+				h.Kind = KindNetUnreachable
+			default:
+				h.Kind = KindOtherUnreachable
+			}
+		case packet.ICMPTypeEchoReply:
+			h.Kind = KindEchoReply
+			if exp.proto != packet.ProtoICMP || m.ID != exp.icmpID ||
+				(exp.matchICMPSeq && m.Seq != exp.icmpSeq) {
+				h.Mismatched = true
+			}
+			return h
+		default:
+			h.Mismatched = true
+			return h
+		}
+		// Error message: inspect the quoted probe.
+		inner, quoted, err := packet.ParseQuoted(m)
+		if err != nil {
+			h.Mismatched = true
+			return h
+		}
+		h.ProbeTTL = int(inner.TTL)
+		h.Mismatched = !matchQuoted(inner, quoted, exp)
+		return h
+
+	case packet.ProtoTCP:
+		th, _, _, err := packet.ParseTCP(payload)
+		if err != nil || th == nil {
+			h.Mismatched = true
+			return h
+		}
+		switch {
+		case th.Flags&packet.TCPRst != 0:
+			h.Kind = KindTCPReset
+		case th.Flags&packet.TCPSyn != 0 && th.Flags&packet.TCPAck != 0:
+			h.Kind = KindTCPSynAck
+		default:
+			h.Mismatched = true
+			return h
+		}
+		if exp.proto != packet.ProtoTCP ||
+			th.SrcPort != exp.tcpDstPort || th.DstPort != exp.tcpSrcPort ||
+			(exp.matchTCPSeq && th.Ack != exp.tcpSeq+1) {
+			h.Mismatched = true
+		}
+		return h
+
+	default:
+		h.Mismatched = true
+		return h
+	}
+}
+
+// matchQuoted validates the quoted probe inside an ICMP error against the
+// expectation. This is where each discipline's "unique value in the probe
+// header" (Section 2.1) is checked.
+func matchQuoted(inner *packet.IPv4, transport []byte, exp expect) bool {
+	if inner.Protocol != exp.proto {
+		return false
+	}
+	if exp.dest.IsValid() && inner.Dst != exp.dest {
+		return false
+	}
+	switch exp.proto {
+	case packet.ProtoUDP:
+		uh, _, err := packet.ParseUDP(transport)
+		if err != nil {
+			return false
+		}
+		if uh.SrcPort != exp.udpSrcPort {
+			return false
+		}
+		if exp.matchUDPPort && uh.DstPort != exp.udpDstPort {
+			return false
+		}
+		if exp.matchUDPChecksum && uh.Checksum != exp.udpChecksum {
+			return false
+		}
+		if !exp.matchUDPPort && uh.DstPort != exp.udpDstPort {
+			return false
+		}
+		return true
+	case packet.ProtoICMP:
+		m, err := packet.ParseICMP(transport)
+		if err != nil {
+			return false
+		}
+		if m.Type != packet.ICMPTypeEchoRequest {
+			return false
+		}
+		if m.ID != exp.icmpID {
+			return false
+		}
+		if exp.matchICMPSeq && m.Seq != exp.icmpSeq {
+			return false
+		}
+		return true
+	case packet.ProtoTCP:
+		th, _, _, err := packet.ParseTCP(transport)
+		if err != nil || th == nil {
+			return false
+		}
+		if th.SrcPort != exp.tcpSrcPort || th.DstPort != exp.tcpDstPort {
+			return false
+		}
+		if exp.matchTCPSeq && th.Seq != exp.tcpSeq {
+			return false
+		}
+		if exp.matchIPID && inner.ID != exp.ipID {
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}

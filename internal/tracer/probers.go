@@ -1,0 +1,346 @@
+package tracer
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/packet"
+)
+
+// Historical defaults from the tools the paper studies.
+const (
+	// ClassicBaseDstPort is classic traceroute's initial UDP Destination
+	// Port (33435), incremented with each probe sent.
+	ClassicBaseDstPort = 33435
+	// ClassicSrcPortBase: classic traceroute sets the Source Port to the
+	// process ID plus 32768.
+	ClassicSrcPortBase = 32768
+	// TCPTracerouteDstPort is tcptraceroute's default Destination Port,
+	// emulating web traffic to traverse firewalls.
+	TCPTracerouteDstPort = 80
+)
+
+// NewClassicUDP builds Jacobson-style classic traceroute with UDP probes:
+// the Destination Port — inside the first four transport octets, hence part
+// of the flow identifier — is incremented with every probe, so consecutive
+// probes may take different paths through per-flow load balancers.
+func NewClassicUDP(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	srcPort := opts.SrcPort
+	if srcPort == 0 {
+		srcPort = ClassicSrcPortBase + 1234 // emulate PID + 32768
+	}
+	basePort := opts.DstPort
+	if basePort == 0 {
+		basePort = ClassicBaseDstPort
+	}
+	src := tp.Source()
+	return &engine{
+		name: "classic-udp",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			dstPort := basePort + uint16(probeIdx)
+			uh := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+			dgram, err := packet.MarshalUDP(src, dest, uh, make([]byte, opts.PayloadLen))
+			if err != nil {
+				return nil, expect{}, err
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoUDP,
+				ID:       uint16(probeIdx + 1),
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(dgram)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:         dest,
+				proto:        packet.ProtoUDP,
+				udpSrcPort:   srcPort,
+				udpDstPort:   dstPort,
+				matchUDPPort: true,
+			}, nil
+		},
+	}
+}
+
+// NewParisUDP builds Paris traceroute with UDP probes: Source and
+// Destination Ports stay constant (they are the flow identifier), and the
+// probe identifier is the UDP Checksum, steered to the desired value by
+// crafting the payload (Section 2.2).
+//
+// The (SrcPort, DstPort) pair selects the flow; varying it across traces
+// enumerates different load-balanced paths.
+func NewParisUDP(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	srcPort := opts.SrcPort
+	if srcPort == 0 {
+		srcPort = 10007
+	}
+	dstPort := opts.DstPort
+	if dstPort == 0 {
+		dstPort = 20011
+	}
+	src := tp.Source()
+	return &engine{
+		name: "paris-udp",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			// Probe identifier: checksum = probeIdx+1 (never zero).
+			target := uint16(probeIdx + 1)
+			if target == 0 {
+				target = 1
+			}
+			uh := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+			payload, err := packet.CraftUDPPayload(src, dest, uh, target, opts.PayloadLen)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			dgram, err := packet.MarshalUDP(src, dest, uh, payload)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			if got := dgram[6]; uint16(got)<<8|uint16(dgram[7]) != target {
+				return nil, expect{}, fmt.Errorf("tracer: crafted checksum %#04x, want %#04x", uint16(dgram[6])<<8|uint16(dgram[7]), target)
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoUDP,
+				ID:       uint16(probeIdx + 1),
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(dgram)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:             dest,
+				proto:            packet.ProtoUDP,
+				udpSrcPort:       srcPort,
+				udpDstPort:       dstPort,
+				udpChecksum:      target,
+				matchUDPChecksum: true,
+			}, nil
+		},
+	}
+}
+
+// NewClassicICMP builds classic traceroute with ICMP Echo probes: the
+// Sequence Number varies per probe, which varies the Checksum — and the
+// Checksum sits in the first four transport octets, i.e. in the flow
+// identifier.
+func NewClassicICMP(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	id := opts.ICMPID
+	if id == 0 {
+		id = 4321 // emulate the process ID
+	}
+	src := tp.Source()
+	return &engine{
+		name: "classic-icmp",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			seq := uint16(probeIdx + 1)
+			m := &packet.ICMP{
+				Type:    packet.ICMPTypeEchoRequest,
+				ID:      id,
+				Seq:     seq,
+				Payload: make([]byte, opts.PayloadLen),
+			}
+			body, err := m.Marshal()
+			if err != nil {
+				return nil, expect{}, err
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoICMP,
+				ID:       uint16(probeIdx + 1),
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(body)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:         dest,
+				proto:        packet.ProtoICMP,
+				icmpID:       id,
+				icmpSeq:      seq,
+				matchICMPSeq: true,
+			}, nil
+		},
+	}
+}
+
+// NewParisICMP builds Paris traceroute with ICMP Echo probes: the Sequence
+// Number still varies (for probe matching), but the Identifier is chosen to
+// compensate so the Checksum — the flow-identifying octets — stays constant
+// at Options.ICMPID (or a default).
+func NewParisICMP(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	target := opts.ICMPID
+	if target == 0 || target == 0xffff {
+		// Zero means "use the default"; all-ones is unreachable (it
+		// would need a one's-complement sum of +0, impossible for
+		// nonzero data), so it falls back to the default too.
+		target = 0xbeef // constant checksum: the flow identifier
+	}
+	src := tp.Source()
+	return &engine{
+		name: "paris-icmp",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			seq := uint16(probeIdx + 1)
+			payload := make([]byte, opts.PayloadLen)
+			id, err := packet.CompensatingEchoID(seq, target, payload)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			m := &packet.ICMP{
+				Type:    packet.ICMPTypeEchoRequest,
+				ID:      id,
+				Seq:     seq,
+				Payload: payload,
+			}
+			body, err := m.Marshal()
+			if err != nil {
+				return nil, expect{}, err
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoICMP,
+				ID:       uint16(probeIdx + 1),
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(body)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:         dest,
+				proto:        packet.ProtoICMP,
+				icmpID:       id,
+				icmpSeq:      seq,
+				matchICMPSeq: true,
+			}, nil
+		},
+	}
+}
+
+// NewParisTCP builds Paris traceroute with TCP probes: ports are constant
+// (the flow identifier lives in the first four octets — the ports), and the
+// Sequence Number, which sits in the second four octets, varies per probe.
+func NewParisTCP(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	srcPort := opts.SrcPort
+	if srcPort == 0 {
+		srcPort = 30021
+	}
+	dstPort := opts.DstPort
+	if dstPort == 0 {
+		dstPort = TCPTracerouteDstPort
+	}
+	src := tp.Source()
+	return &engine{
+		name: "paris-tcp",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			seq := uint32(probeIdx + 1)
+			seg, err := packet.MarshalTCP(src, dest, &packet.TCP{
+				SrcPort: srcPort,
+				DstPort: dstPort,
+				Seq:     seq,
+				Flags:   packet.TCPSyn,
+				Window:  65535,
+			}, nil)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoTCP,
+				ID:       uint16(probeIdx + 1),
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(seg)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:        dest,
+				proto:       packet.ProtoTCP,
+				tcpSrcPort:  srcPort,
+				tcpDstPort:  dstPort,
+				tcpSeq:      seq,
+				matchTCPSeq: true,
+			}, nil
+		},
+	}
+}
+
+// NewTCPTraceroute builds Toren's tcptraceroute: Destination Port 80,
+// constant TCP fields, varying the IP Identification field for matching.
+// Like Paris TCP it maintains a constant flow identifier; the paper notes
+// this but observes no prior work had examined the effect.
+func NewTCPTraceroute(tp Transport, opts Options) Tracer {
+	opts = opts.withDefaults()
+	srcPort := opts.SrcPort
+	if srcPort == 0 {
+		srcPort = 31337
+	}
+	dstPort := opts.DstPort
+	if dstPort == 0 {
+		dstPort = TCPTracerouteDstPort
+	}
+	src := tp.Source()
+	return &engine{
+		name: "tcptraceroute",
+		tp:   tp,
+		opts: opts,
+		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+			ipid := uint16(probeIdx + 1)
+			seg, err := packet.MarshalTCP(src, dest, &packet.TCP{
+				SrcPort: srcPort,
+				DstPort: dstPort,
+				Seq:     0x1000,
+				Flags:   packet.TCPSyn,
+				Window:  65535,
+			}, nil)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			pkt, err := (&packet.IPv4{
+				TOS:      opts.TOS,
+				TTL:      uint8(ttl),
+				Protocol: packet.ProtoTCP,
+				ID:       ipid,
+				Src:      src,
+				Dst:      dest,
+			}).Marshal(seg)
+			if err != nil {
+				return nil, expect{}, err
+			}
+			return pkt, expect{
+				dest:       dest,
+				proto:      packet.ProtoTCP,
+				tcpSrcPort: srcPort,
+				tcpDstPort: dstPort,
+				tcpSeq:     0x1000,
+				matchIPID:  true,
+				ipID:       ipid,
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,343 @@
+// Package tracer implements the probing engines compared in the paper:
+// classic traceroute (UDP port-varying and ICMP Echo sequence-varying, after
+// Jacobson's tool and NetBSD traceroute 1.4a5), Toren-style tcptraceroute,
+// and Paris traceroute in its UDP, ICMP Echo and TCP variants.
+//
+// All engines share one Transport (the simulated network, or a live one) and
+// one response-matching pipeline; they differ only in how probe header
+// fields are varied — which is precisely the paper's point. Every hop record
+// carries the three Paris observables: the probe TTL quoted inside ICMP
+// errors, the response TTL, and the response IP ID (Section 2.2).
+package tracer
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Transport carries serialized IPv4 probes to the network under measurement
+// and returns the serialized response packet, if any.
+type Transport interface {
+	// Exchange sends one probe and blocks until its response arrives or
+	// the transport-level timeout passes (ok=false: a star).
+	Exchange(probe []byte) (resp []byte, rtt time.Duration, ok bool)
+	// Source returns the local address probes are sent from.
+	Source() netip.Addr
+}
+
+// Method selects the probe transport protocol.
+type Method int
+
+const (
+	MethodUDP Method = iota
+	MethodICMP
+	MethodTCP
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodUDP:
+		return "udp"
+	case MethodICMP:
+		return "icmp"
+	case MethodTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ReplyKind classifies the response to a probe.
+type ReplyKind int
+
+const (
+	KindNone ReplyKind = iota // no response: a star ('*')
+	KindTimeExceeded
+	KindPortUnreachable
+	KindHostUnreachable
+	KindNetUnreachable
+	KindOtherUnreachable
+	KindEchoReply
+	KindTCPReset
+	KindTCPSynAck
+)
+
+// String implements fmt.Stringer.
+func (k ReplyKind) String() string {
+	switch k {
+	case KindNone:
+		return "*"
+	case KindTimeExceeded:
+		return "time-exceeded"
+	case KindPortUnreachable:
+		return "port-unreachable"
+	case KindHostUnreachable:
+		return "host-unreachable"
+	case KindNetUnreachable:
+		return "net-unreachable"
+	case KindOtherUnreachable:
+		return "unreachable"
+	case KindEchoReply:
+		return "echo-reply"
+	case KindTCPReset:
+		return "tcp-rst"
+	case KindTCPSynAck:
+		return "tcp-synack"
+	default:
+		return fmt.Sprintf("ReplyKind(%d)", int(k))
+	}
+}
+
+// Terminal reports whether this reply ends a trace: the destination was
+// reached or an unreachability message arrived.
+func (k ReplyKind) Terminal() bool {
+	switch k {
+	case KindPortUnreachable, KindHostUnreachable, KindNetUnreachable,
+		KindOtherUnreachable, KindEchoReply, KindTCPReset, KindTCPSynAck:
+		return true
+	}
+	return false
+}
+
+// Flag returns the traceroute output annotation for the reply ("!H", "!N",
+// "!P", or "").
+func (k ReplyKind) Flag() string {
+	switch k {
+	case KindHostUnreachable:
+		return "!H"
+	case KindNetUnreachable:
+		return "!N"
+	case KindOtherUnreachable:
+		return "!X"
+	default:
+		return ""
+	}
+}
+
+// Hop records one probe/response exchange.
+type Hop struct {
+	// TTL is the probe's initial TTL (the hop number).
+	TTL int
+	// Addr is the responder's source address; invalid for a star.
+	Addr netip.Addr
+	// RTT is the round-trip time (zero for a star).
+	RTT time.Duration
+	// Kind classifies the response.
+	Kind ReplyKind
+	// ProbeTTL is the TTL of the quoted probe inside an ICMP error: the
+	// probe's TTL when the responding router received and discarded it.
+	// Normal value is 1; 0 signals zero-TTL forwarding upstream (Fig. 4).
+	// -1 when the response carries no quote (e.g. TCP resets).
+	ProbeTTL int
+	// RespTTL is the TTL of the response packet itself on arrival, used
+	// to infer return-path length and to detect address rewriting.
+	RespTTL int
+	// IPID is the IP Identification of the response packet — the
+	// responding box's internal counter.
+	IPID uint16
+	// Mismatched is set when a response arrived but failed strict
+	// probe/response matching.
+	Mismatched bool
+}
+
+// Star reports whether no response was received.
+func (h Hop) Star() bool { return h.Kind == KindNone }
+
+// String renders the hop roughly the way traceroute prints it.
+func (h Hop) String() string {
+	if h.Star() {
+		return fmt.Sprintf("%2d  *", h.TTL)
+	}
+	s := fmt.Sprintf("%2d  %s  %.3f ms", h.TTL, h.Addr, float64(h.RTT.Microseconds())/1000)
+	if f := h.Kind.Flag(); f != "" {
+		s += "  " + f
+	}
+	return s
+}
+
+// HaltReason records why a trace ended.
+type HaltReason int
+
+const (
+	HaltDestination HaltReason = iota // destination responded
+	HaltUnreachable                   // ICMP Destination Unreachable
+	HaltStars                         // too many consecutive stars
+	HaltMaxTTL                        // ran out of hops
+)
+
+// String implements fmt.Stringer.
+func (h HaltReason) String() string {
+	switch h {
+	case HaltDestination:
+		return "destination"
+	case HaltUnreachable:
+		return "unreachable"
+	case HaltStars:
+		return "stars"
+	case HaltMaxTTL:
+		return "max-ttl"
+	default:
+		return fmt.Sprintf("HaltReason(%d)", int(h))
+	}
+}
+
+// Route is the result of one traceroute: one Hop per TTL probed (the first
+// response at each TTL), in TTL order. When Options.ProbesPerHop > 1, All
+// holds every attempt.
+type Route struct {
+	Dest   netip.Addr
+	Source netip.Addr
+	Hops   []Hop
+	All    [][]Hop
+	Halt   HaltReason
+}
+
+// Addresses returns the measured route as the paper defines it
+// (Section 4): the ℓ-tuple of responding addresses, with invalid entries
+// for stars, indexed from the first probed TTL.
+func (r *Route) Addresses() []netip.Addr {
+	out := make([]netip.Addr, len(r.Hops))
+	for i, h := range r.Hops {
+		out[i] = h.Addr
+	}
+	return out
+}
+
+// Reached reports whether the destination itself answered.
+func (r *Route) Reached() bool { return r.Halt == HaltDestination }
+
+// Options configures a trace.
+type Options struct {
+	// Method selects UDP, ICMP Echo, or TCP probes. Default UDP.
+	Method Method
+	// MinTTL is the first TTL probed. The paper's study sets 2 to skip
+	// the university network. Default 1.
+	MinTTL int
+	// MaxTTL bounds the trace length. The paper's study uses 39.
+	// Default 30.
+	MaxTTL int
+	// ProbesPerHop is the number of probes per TTL. Classic traceroute
+	// defaults to 3; the paper's study sends 1. Default 1.
+	ProbesPerHop int
+	// MaxConsecutiveStars halts the trace after this many consecutive
+	// non-responses. The paper uses 8. Default 8.
+	MaxConsecutiveStars int
+	// SrcPort and DstPort seed the transport ports. Their exact meaning
+	// depends on the engine: classic UDP increments DstPort per probe;
+	// Paris keeps both fixed (they define the flow). Zero values select
+	// each engine's historical default.
+	SrcPort, DstPort uint16
+	// ICMPID is the Echo Identifier for classic ICMP probes (classically
+	// the process ID). For Paris ICMP it is the checksum target.
+	ICMPID uint16
+	// TOS sets the IP Type of Service octet on probes.
+	TOS uint8
+	// PayloadLen is the probe payload length. Paris UDP needs >= 2 to
+	// absorb the checksum; default 12 mirrors classic traceroute's
+	// default packet length.
+	PayloadLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinTTL <= 0 {
+		o.MinTTL = 1
+	}
+	if o.MaxTTL <= 0 {
+		o.MaxTTL = 30
+	}
+	if o.ProbesPerHop <= 0 {
+		o.ProbesPerHop = 1
+	}
+	if o.MaxConsecutiveStars <= 0 {
+		o.MaxConsecutiveStars = 8
+	}
+	if o.PayloadLen < 2 {
+		o.PayloadLen = 12
+	}
+	return o
+}
+
+// Tracer runs traceroutes using a specific probing discipline.
+type Tracer interface {
+	// Trace measures the route from the transport's source to dest.
+	Trace(dest netip.Addr) (*Route, error)
+	// Name identifies the discipline ("classic-udp", "paris-udp", ...).
+	Name() string
+}
+
+// engine is the shared trace loop; each discipline supplies a prober.
+type engine struct {
+	name  string
+	tp    Transport
+	opts  Options
+	build proberFunc
+}
+
+// proberFunc returns the serialized probe for the given TTL and global
+// probe index, plus the expectation used to match its response.
+type proberFunc func(dest netip.Addr, ttl, probeIdx int) (probe []byte, exp expect, err error)
+
+// Trace implements Tracer.
+func (e *engine) Trace(dest netip.Addr) (*Route, error) {
+	rt := &Route{Dest: dest, Source: e.tp.Source(), Halt: HaltMaxTTL}
+	stars := 0
+	probeIdx := 0
+	for ttl := e.opts.MinTTL; ttl <= e.opts.MaxTTL; ttl++ {
+		var attempts []Hop
+		terminal := false
+		for a := 0; a < e.opts.ProbesPerHop; a++ {
+			probe, exp, err := e.build(dest, ttl, probeIdx)
+			probeIdx++
+			if err != nil {
+				return nil, fmt.Errorf("tracer %s: building probe ttl=%d: %w", e.name, ttl, err)
+			}
+			resp, rtt, ok := e.tp.Exchange(probe)
+			h := Hop{TTL: ttl, ProbeTTL: -1}
+			if ok {
+				h = parseResponse(resp, exp)
+				h.TTL = ttl
+				h.RTT = rtt
+			}
+			attempts = append(attempts, h)
+			if h.Kind.Terminal() {
+				terminal = true
+			}
+		}
+		first := attempts[0]
+		for _, h := range attempts {
+			if !h.Star() {
+				first = h
+				break
+			}
+		}
+		rt.Hops = append(rt.Hops, first)
+		if e.opts.ProbesPerHop > 1 {
+			rt.All = append(rt.All, attempts)
+		}
+		if first.Star() {
+			stars++
+		} else {
+			stars = 0
+		}
+		if terminal {
+			rt.Halt = HaltDestination
+			for _, h := range attempts {
+				switch h.Kind {
+				case KindHostUnreachable, KindNetUnreachable, KindOtherUnreachable:
+					rt.Halt = HaltUnreachable
+				}
+			}
+			return rt, nil
+		}
+		if stars >= e.opts.MaxConsecutiveStars {
+			rt.Halt = HaltStars
+			return rt, nil
+		}
+	}
+	return rt, nil
+}
+
+// Name implements Tracer.
+func (e *engine) Name() string { return e.name }

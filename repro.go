@@ -1,0 +1,80 @@
+// Package repro is a full reproduction of "Avoiding traceroute anomalies
+// with Paris traceroute" (Augustin et al., IMC 2006): the Paris traceroute
+// probing technique, the classic tools it is compared against, the loop /
+// cycle / diamond anomaly taxonomy with cause classification, and the
+// measurement methodology of the paper's study — all runnable against a
+// deterministic packet-level network simulator (or a live UDP transport).
+//
+// The top-level package is a thin facade; the implementation lives in:
+//
+//   - internal/packet  — IPv4/UDP/TCP/ICMPv4 wire formats and the
+//     checksum-crafting tricks Paris traceroute depends on;
+//   - internal/flow    — flow-identifier extraction and ECMP hashing;
+//   - internal/netsim  — the simulated network (routers, load balancers,
+//     NATs, faults, routing dynamics);
+//   - internal/topo    — topology presets for every paper figure and the
+//     campaign generator;
+//   - internal/tracer  — classic, Paris, and TCP traceroute engines;
+//   - internal/anomaly — loop/cycle/diamond detection and classification;
+//   - internal/measure — the Section 3/4 campaign engine and statistics;
+//   - internal/core    — the high-level workflow API.
+//
+// Quick start (simulated network):
+//
+//	fig := topo.BuildFigure3(1)                    // a load-balanced net
+//	tp := netsim.NewTransport(fig.Net)
+//	paris := tracer.NewParisUDP(tp, tracer.Options{})
+//	route, err := paris.Trace(fig.Dest.Addr)
+//
+// See examples/ for runnable programs and cmd/ for the CLI tools.
+package repro
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+// Session is the high-level measurement API (see internal/core).
+type Session = core.Session
+
+// NewSimulatedSession generates a random Internet-like scenario with the
+// given seed and returns a measurement session over it together with the
+// scenario's destination list.
+func NewSimulatedSession(seed int64, destinations int) (*Session, []netip.Addr) {
+	cfg := topo.DefaultGenConfig()
+	cfg.Seed = seed
+	cfg.Destinations = destinations
+	sc := topo.Generate(cfg)
+	return core.NewSession(netsim.NewTransport(sc.Net)), sc.Dests
+}
+
+// NewParisUDP returns the Paris traceroute engine (UDP probing, constant
+// flow identifier, checksum-coded probe IDs) over any transport.
+func NewParisUDP(tp tracer.Transport, opts tracer.Options) tracer.Tracer {
+	return tracer.NewParisUDP(tp, opts)
+}
+
+// NewClassicUDP returns the classic Jacobson traceroute engine (UDP
+// probing, destination port varied per probe).
+func NewClassicUDP(tp tracer.Transport, opts tracer.Options) tracer.Tracer {
+	return tracer.NewClassicUDP(tp, opts)
+}
+
+// RunCampaign executes a paired classic/Paris measurement campaign and
+// returns its anomaly statistics (see internal/measure for details).
+func RunCampaign(tp tracer.Transport, cfg measure.Config) (*measure.Stats, error) {
+	camp, err := measure.NewCampaign(tp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := camp.Run()
+	if err != nil {
+		return nil, err
+	}
+	return measure.Analyze(res), nil
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+func TestNewSimulatedSession(t *testing.T) {
+	sess, dests := NewSimulatedSession(7, 50)
+	if len(dests) != 50 {
+		t.Fatalf("dests = %d", len(dests))
+	}
+	res, err := sess.MeasurePair(dests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Paris.Reached() || !res.Classic.Reached() {
+		t.Errorf("halts: paris=%v classic=%v", res.Paris.Halt, res.Classic.Halt)
+	}
+}
+
+func TestFacadeTracerConstructors(t *testing.T) {
+	fig := topo.BuildFigure3(1)
+	tp := netsim.NewTransport(fig.Net)
+	for _, tr := range []tracer.Tracer{
+		NewParisUDP(tp, tracer.Options{MaxTTL: 15}),
+		NewClassicUDP(tp, tracer.Options{MaxTTL: 15}),
+	} {
+		rt, err := tr.Trace(fig.Dest.Addr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if !rt.Reached() {
+			t.Errorf("%s: halt %v", tr.Name(), rt.Halt)
+		}
+	}
+}
+
+func TestRunCampaignFacade(t *testing.T) {
+	cfg := topo.DefaultGenConfig()
+	cfg.Destinations = 30
+	sc := topo.Generate(cfg)
+	stats, err := RunCampaign(netsim.NewTransport(sc.Net), measure.Config{
+		Dests: sc.Dests, Rounds: 2, Workers: 4,
+		RoundStart: sc.RoundStart, PortSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Routes != 60 {
+		t.Errorf("routes = %d, want 60", stats.Routes)
+	}
+	if stats.Responses == 0 || stats.AddrsSeen == 0 {
+		t.Errorf("empty stats: %+v", stats)
+	}
+}
