@@ -198,6 +198,7 @@ func BenchmarkCampaignRound(b *testing.B) {
 	cfg.Destinations = 500
 	sc := topo.Generate(cfg)
 	tp := netsim.NewTransport(sc.Net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		camp, err := measure.NewCampaign(tp, measure.Config{
@@ -409,6 +410,7 @@ func BenchmarkSingleTrace(b *testing.B) {
 	cfg.Destinations = 100
 	sc := topo.Generate(cfg)
 	tp := netsim.NewTransport(sc.Net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr := tracer.NewParisUDP(tp, tracer.Options{MinTTL: 2, MaxTTL: 39})

@@ -12,7 +12,6 @@ package flow
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/packet"
 )
@@ -70,10 +69,18 @@ type Key struct {
 // missing octets are zero), mirroring real routers which hash whatever bytes
 // sit at those offsets.
 func Extract(pkt []byte, opts Options) (Key, error) {
-	h, payload, err := packet.ParseIPv4(pkt)
+	var h packet.IPv4
+	payload, err := packet.ParseIPv4Into(pkt, &h)
 	if err != nil {
 		return Key{}, fmt.Errorf("flow: %w", err)
 	}
+	return FromParsed(&h, payload, opts)
+}
+
+// FromParsed computes the flow key from an already-parsed IPv4 header and
+// its transport payload. Forwarding engines that parse each packet once
+// (netsim's hot path) use this to skip Extract's re-parse.
+func FromParsed(h *packet.IPv4, payload []byte, opts Options) (Key, error) {
 	var k Key
 	dst := h.Dst.As4()
 	switch opts.Kind {
@@ -106,11 +113,20 @@ func Extract(pkt []byte, opts Options) (Key, error) {
 	}
 }
 
-// Hash returns a stable 64-bit hash of the key (FNV-1a).
+// Hash returns a stable 64-bit hash of the key (FNV-1a, computed inline so
+// the per-forwarding-decision call allocates nothing; hash/fnv's New64a
+// heap-allocates its state).
 func (k Key) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write(k.raw[:k.n])
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range k.raw[:k.n] {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // Bucket maps the key onto one of n equal-cost next hops.

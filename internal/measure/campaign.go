@@ -76,10 +76,13 @@ type Results struct {
 	Rounds [][]Pair
 }
 
-// Campaign runs the full study over the given transport.
+// Campaign runs the full study over the given transport. Its workers share
+// the transport, which must therefore be safe for concurrent use —
+// netsim.Transport forwards exchanges in parallel.
 type Campaign struct {
-	cfg Config
-	tp  tracer.Transport
+	cfg  Config
+	tp   tracer.Transport
+	base tracer.Options // per-trace options before flow-identifier seeding
 }
 
 // NewCampaign creates a campaign; cfg.Dests must be non-empty.
@@ -88,7 +91,11 @@ func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
 	if len(cfg.Dests) == 0 {
 		return nil, fmt.Errorf("measure: empty destination list")
 	}
-	return &Campaign{cfg: cfg, tp: tp}, nil
+	return &Campaign{cfg: cfg, tp: tp, base: tracer.Options{
+		MinTTL:              cfg.MinTTL,
+		MaxTTL:              cfg.MaxTTL,
+		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
+	}}, nil
 }
 
 // portFor derives the stable per-destination Paris flow ports in the
@@ -158,13 +165,7 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 // traceroute with an unchanging five-tuple, then a classic traceroute with
 // the same timing parameters.
 func (c *Campaign) measureOne(round int, d netip.Addr) (Pair, error) {
-	base := tracer.Options{
-		MinTTL:              c.cfg.MinTTL,
-		MaxTTL:              c.cfg.MaxTTL,
-		MaxConsecutiveStars: c.cfg.MaxConsecutiveStars,
-	}
-
-	parisOpts := base
+	parisOpts := c.base
 	parisOpts.SrcPort = portFor(c.cfg.PortSeed, d, 0x517e)
 	parisOpts.DstPort = portFor(c.cfg.PortSeed, d, 0xd057)
 	paris := tracer.NewParisUDP(c.tp, parisOpts)
@@ -177,7 +178,7 @@ func (c *Campaign) measureOne(round int, d netip.Addr) (Pair, error) {
 	// invocation is a fresh process, so the port — part of the flow
 	// identifier — changes per trace. Emulate with a per-(round, dest)
 	// pseudo-PID.
-	classicOpts := base
+	classicOpts := c.base
 	classicOpts.SrcPort = 32768 + uint16(portFor(c.cfg.PortSeed, d, uint64(round)*0x9e37+0xc1a5)%30000)
 	classic := tracer.NewClassicUDP(c.tp, classicOpts)
 	cr, err := classic.Trace(d)

@@ -1,0 +1,128 @@
+package measure
+
+import (
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// invarianceConfig is a campaign topology whose statistics cannot depend on
+// probe interleaving: per-flow balancing only (forwarding is a pure
+// function of the probe bytes), and no gadget whose *classification*
+// consults schedule-dependent observables (IP IDs). Zero-TTL loops,
+// diff-2/looper cycles, and per-probe flips are excluded for that reason;
+// NAT rewriting, unequal per-flow diamonds, and round-driven flaps stay in,
+// so the campaign still produces loops, unreachability, and diamonds.
+func invarianceConfig(dests int) topo.GenConfig {
+	cfg := topo.DefaultGenConfig()
+	cfg.Destinations = dests
+	cfg.PPerPacket = 0
+	cfg.PPerPacketUnequal = 0
+	cfg.PZeroTTLPod = 0
+	cfg.PDiff2 = 0
+	cfg.PLooperPod = 0
+	cfg.PFlapDiamondPod = 0
+	cfg.PFlipPod = 0
+	cfg.FlipPerProbe = 0
+	return cfg
+}
+
+// runStats executes one campaign with the given worker count over a fresh
+// copy of the deterministic scenario and returns its normalized statistics.
+func runStats(t *testing.T, workers, dests int) *Stats {
+	t.Helper()
+	// Fresh scenario per run: router/host IP ID counters and flap RNG
+	// state are per-network, and the comparison needs both runs to start
+	// from the same initial state.
+	sc := topo.Generate(invarianceConfig(dests))
+	camp, err := NewCampaign(netsim.NewTransport(sc.Net), Config{
+		Dests:      sc.Dests,
+		Rounds:     5,
+		Workers:    workers,
+		RoundStart: sc.RoundStart,
+		PortSeed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(res)
+	// AllAddresses is collected from map iteration; order is not part of
+	// the statistics.
+	sort.Slice(s.AllAddresses, func(i, j int) bool {
+		return s.AllAddresses[i].Less(s.AllAddresses[j])
+	})
+	return s
+}
+
+// TestCampaignWorkerInvariance is the determinism gate on the concurrent
+// forwarding engine: over a deterministic topology, the full campaign
+// statistics must be identical whether one worker probes every destination
+// or 32 workers probe in parallel.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	const dests = 160
+	seq := runStats(t, 1, dests)
+	par := runStats(t, 32, dests)
+
+	if seq.Loops.Instances == 0 {
+		t.Fatal("deterministic campaign saw no loops at all; invariance check degenerate")
+	}
+	if seq.Diamonds.Total == 0 {
+		t.Fatal("deterministic campaign saw no diamonds; invariance check degenerate")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("campaign statistics differ between Workers=1 and Workers=32:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestCampaignRoutesIdenticalAcrossWorkers drills below the aggregates: the
+// per-destination measured routes themselves must match hop for hop.
+func TestCampaignRoutesIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Results {
+		sc := topo.Generate(invarianceConfig(80))
+		camp, err := NewCampaign(netsim.NewTransport(sc.Net), Config{
+			Dests:      sc.Dests,
+			Rounds:     2,
+			Workers:    workers,
+			RoundStart: sc.RoundStart,
+			PortSeed:   7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(32)
+	for r := range a.Rounds {
+		for i := range a.Rounds[r] {
+			pa, pb := a.Rounds[r][i], b.Rounds[r][i]
+			if !sameAddrs(pa.Paris.Addresses(), pb.Paris.Addresses()) ||
+				!sameAddrs(pa.Classic.Addresses(), pb.Classic.Addresses()) {
+				t.Fatalf("round %d dest %v: routes differ between worker counts", r, pa.Dest)
+			}
+		}
+	}
+}
+
+func sameAddrs(a, b []netip.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"net/netip"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/packet"
 )
@@ -11,6 +11,9 @@ import (
 // probes the way the paper's "pingable" destinations do: UDP probes to
 // unbound ports draw ICMP Port Unreachable, Echo Requests draw Echo Replies,
 // and TCP SYNs draw RST (closed port) or SYN-ACK (listening port).
+//
+// OpenTCPPorts and Silent are topology configuration: set them before the
+// network starts exchanging probes.
 type Host struct {
 	Name string
 	Addr netip.Addr
@@ -24,61 +27,59 @@ type Host struct {
 	// uses them to test stop conditions).
 	Silent bool
 
-	icmpTTL uint8
-	ipID    uint16
-	mu      sync.Mutex
+	// icmpTTL is the initial TTL of packets the host originates, stored
+	// as an atomic so concurrent exchanges can read it locklessly.
+	icmpTTL atomic.Uint32
+	// ipID accumulates in 32 bits and is truncated to the 16-bit IP ID,
+	// which equals 16-bit modular increment per originated packet.
+	ipID atomic.Uint32
 }
 
 // NewHost creates a host answering at addr.
 func NewHost(name string, addr netip.Addr) *Host {
-	return &Host{Name: name, Addr: addr, icmpTTL: 64}
+	h := &Host{Name: name, Addr: addr}
+	h.icmpTTL.Store(64)
+	return h
 }
 
 // SetICMPTTL sets the initial TTL of packets the host originates. End hosts
 // commonly use 64 where routers use 255.
 func (h *Host) SetICMPTTL(ttl uint8) *Host {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.icmpTTL = ttl
+	h.icmpTTL.Store(uint32(ttl))
 	return h
 }
 
 func (h *Host) nextIPID() uint16 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.ipID++
-	return h.ipID
+	return uint16(h.ipID.Add(1))
 }
 
-// respond builds the host's response to the delivered serialized packet, or
-// returns nil if the host stays silent.
-func (h *Host) respond(pkt []byte) []byte {
+// respond builds the host's response to the delivered packet (already
+// parsed into ih/payload by the forwarding engine), or returns nil if the
+// host stays silent.
+func (h *Host) respond(ih *packet.IPv4, payload, pkt []byte) []byte {
 	if h.Silent {
-		return nil
-	}
-	ih, payload, err := packet.ParseIPv4(pkt)
-	if err != nil {
 		return nil
 	}
 	switch ih.Protocol {
 	case packet.ProtoUDP:
-		m, err := packet.DestUnreachable(packet.CodePortUnreachable, pkt)
-		if err != nil {
-			return nil
+		m := packet.ICMP{
+			Type:    packet.ICMPTypeDestUnreachable,
+			Code:    packet.CodePortUnreachable,
+			Payload: quoteOf(pkt, ih, payload),
 		}
-		return h.marshalICMP(m, ih.Src)
+		return h.marshalICMP(&m, ih.Src)
 	case packet.ProtoICMP:
 		m, err := packet.ParseICMP(payload)
 		if err != nil || m.Type != packet.ICMPTypeEchoRequest {
 			return nil
 		}
-		reply := &packet.ICMP{
+		reply := packet.ICMP{
 			Type:    packet.ICMPTypeEchoReply,
 			ID:      m.ID,
 			Seq:     m.Seq,
-			Payload: append([]byte(nil), m.Payload...),
+			Payload: m.Payload, // copied out by MarshalIPv4ICMP
 		}
-		return h.marshalICMP(reply, ih.Src)
+		return h.marshalICMP(&reply, ih.Src)
 	case packet.ProtoTCP:
 		th, _, _, err := packet.ParseTCP(payload)
 		if err != nil || th == nil {
@@ -115,23 +116,17 @@ func (h *Host) respond(pkt []byte) []byte {
 }
 
 func (h *Host) ttl() uint8 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.icmpTTL
+	return uint8(h.icmpTTL.Load())
 }
 
 func (h *Host) marshalICMP(m *packet.ICMP, dst netip.Addr) []byte {
-	body, err := m.Marshal()
-	if err != nil {
-		return nil
-	}
-	out, err := (&packet.IPv4{
+	out, err := packet.MarshalIPv4ICMP(&packet.IPv4{
 		TTL:      h.ttl(),
 		Protocol: packet.ProtoICMP,
 		ID:       h.nextIPID(),
 		Src:      h.Addr,
 		Dst:      dst,
-	}).Marshal(body)
+	}, m)
 	if err != nil {
 		return nil
 	}

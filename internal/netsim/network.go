@@ -2,9 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/packet"
 )
@@ -21,8 +21,19 @@ const DefaultMaxSteps = 1024
 // at the measurement source's gateway and returns whatever response packet
 // makes it back to the source, simulating both the forward and the return
 // path hop by hop.
+//
+// Exchange is safe for concurrent use and concurrent calls run in parallel:
+// the topology registry below is read-mostly (registration takes the write
+// lock, every exchange only a read lock), per-router configuration is an
+// atomically-swapped snapshot, and all counters are atomics. See the
+// package comment for the full concurrency model and determinism contract.
 type Network struct {
-	mu sync.Mutex
+	// topoMu guards the topology registry. Building (AddRouter, AddIface,
+	// AttachHost, SetSource, OnSend) takes the write lock; Exchange holds
+	// the read lock for the whole forwarding walk, so topology mutation
+	// never races a packet in flight while exchanges proceed in parallel
+	// with each other.
+	topoMu sync.RWMutex
 
 	routers     map[netip.Addr]*Router // every iface addr -> its router
 	hosts       map[netip.Addr]*Host
@@ -32,14 +43,18 @@ type Network struct {
 	sourceGW  netip.Addr // interface the source's packets enter through
 	haveEntry bool
 
-	rng *rand.Rand
+	// seed fixes all randomized behaviour. Each Exchange derives its own
+	// SplitMix64 stream from (seed, probe counter), so random draws never
+	// contend on a shared generator.
+	seed uint64
 	// RandomPerPacket selects random spreading for PerPacket balancers;
-	// when false, routers round-robin deterministically.
+	// when false, routers round-robin deterministically. Set it before
+	// the first Exchange; it is read locklessly on the hot path.
 	RandomPerPacket bool
 
 	maxSteps int
 
-	probeCount int
+	probeCount atomic.Int64
 	onSend     []func(count int, probe []byte)
 }
 
@@ -50,7 +65,7 @@ func New(seed int64) *Network {
 		routers:         make(map[netip.Addr]*Router),
 		hosts:           make(map[netip.Addr]*Host),
 		hostGateway:     make(map[netip.Addr]netip.Addr),
-		rng:             rand.New(rand.NewSource(seed)),
+		seed:            uint64(seed),
 		RandomPerPacket: true,
 		maxSteps:        DefaultMaxSteps,
 	}
@@ -59,8 +74,8 @@ func New(seed int64) *Network {
 // AddRouter registers a router; each of its interface addresses becomes
 // routable within the network.
 func (n *Network) AddRouter(r *Router) *Router {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	for _, a := range r.ifaces {
 		if prev, ok := n.routers[a]; ok && prev != r {
 			panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
@@ -77,8 +92,8 @@ func (n *Network) AddRouter(r *Router) *Router {
 // the network, and returns its interface index. Topology builders use this
 // to grow routers one adjacency at a time.
 func (n *Network) AddIface(r *Router, a netip.Addr) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	if prev, ok := n.routers[a]; ok && prev != r {
 		panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
 	}
@@ -86,8 +101,6 @@ func (n *Network) AddIface(r *Router, a netip.Addr) int {
 		panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
 	}
 	n.routers[a] = r
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.ifaces = append(r.ifaces, a)
 	return len(r.ifaces) - 1
 }
@@ -95,8 +108,8 @@ func (n *Network) AddIface(r *Router, a netip.Addr) int {
 // AttachHost registers a host and the router interface it hangs off.
 // Responses the host generates enter the network at gateway.
 func (n *Network) AttachHost(h *Host, gateway netip.Addr) *Host {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	if _, ok := n.routers[h.Addr]; ok {
 		panic(fmt.Sprintf("netsim: host address %v already owned by a router", h.Addr))
 	}
@@ -108,8 +121,8 @@ func (n *Network) AttachHost(h *Host, gateway netip.Addr) *Host {
 // SetSource declares the measurement source address and the interface its
 // probes enter the network through (its first-hop gateway).
 func (n *Network) SetSource(src, gateway netip.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.source = src
 	n.sourceGW = gateway
 	n.haveEntry = true
@@ -117,81 +130,112 @@ func (n *Network) SetSource(src, gateway netip.Addr) {
 
 // Source returns the measurement source address.
 func (n *Network) Source() netip.Addr {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
 	return n.source
 }
 
 // RouterAt returns the router owning the given interface address.
 func (n *Network) RouterAt(a netip.Addr) (*Router, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
 	r, ok := n.routers[a]
 	return r, ok
 }
 
 // HostAt returns the host owning the given address.
 func (n *Network) HostAt(a netip.Addr) (*Host, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
 	h, ok := n.hosts[a]
 	return h, ok
 }
 
-// OnSend registers a hook invoked (outside the network lock) with the
+// OnSend registers a hook invoked (outside any network lock) with the
 // running probe count and the serialized probe before each Exchange; the
-// hook must treat the probe as read-only. Routing-change and
-// forwarding-loop injection hang off this hook.
+// hook must treat the probe as read-only and must itself be safe for
+// concurrent invocation, since parallel exchanges call it in parallel.
+// Routing-change and forwarding-loop injection hang off this hook.
 func (n *Network) OnSend(f func(count int, probe []byte)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.onSend = append(n.onSend, f)
 }
 
 // ProbeCount returns the number of probes injected so far.
 func (n *Network) ProbeCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.probeCount
+	return int(n.probeCount.Load())
 }
+
+// splitmix64 advances and finalizes one step of the SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// prng is a tiny lock-free SplitMix64 stream private to one exchange. It
+// replaces the shared *rand.Rand the old single-lock engine serialized on:
+// each Exchange seeds its own stream from (network seed, probe counter), so
+// random behaviour stays reproducible for a given probe order without any
+// cross-exchange coordination.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	v := splitmix64(p.state)
+	p.state += 0x9e3779b97f4a7c15
+	return v
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (p *prng) Float64() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// Intn returns a uniform sample in [0, n). The modulo bias is below 2^-48
+// for the branch widths (<= 16) routers balance across.
+func (p *prng) Intn(n int) int { return int(p.next() % uint64(n)) }
 
 // Exchange injects the serialized IPv4 probe at the source gateway and
 // simulates forwarding until a response packet reaches the source, the
 // probe is dropped, or the step guard trips. It returns the serialized
 // response and the total number of node traversals (a latency proxy).
 // ok is false when no response comes back (a star).
+//
+// Exchange is safe for concurrent use; concurrent calls forward in
+// parallel under the topology read lock.
 func (n *Network) Exchange(probe []byte) (resp []byte, steps int, ok bool) {
-	n.mu.Lock()
-	if !n.haveEntry {
-		n.mu.Unlock()
+	count := n.probeCount.Add(1)
+	n.topoMu.RLock()
+	haveEntry := n.haveEntry
+	hooks := n.onSend
+	n.topoMu.RUnlock()
+	if !haveEntry {
 		panic("netsim: SetSource not called")
 	}
-	n.probeCount++
-	count := n.probeCount
-	hooks := make([]func(int, []byte), len(n.onSend))
-	copy(hooks, n.onSend)
-	n.mu.Unlock()
 	for _, f := range hooks {
-		f(count, probe)
+		f(int(count), probe)
 	}
 
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	rng := prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}
 	// Copy: forwarding mutates TTL/checksum/src in place.
 	pkt := append([]byte(nil), probe...)
-	return n.run(pkt, n.sourceGW, false)
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
+	return n.run(&rng, pkt, n.sourceGW, false)
 }
 
 // run is the forwarding engine. pkt is located at interface `at`
 // (or originates at the router owning `at` when originated is true).
-// Must be called with n.mu held.
-func (n *Network) run(pkt []byte, at netip.Addr, originated bool) (resp []byte, steps int, ok bool) {
+// Must be called with n.topoMu read-held. The IPv4 header is parsed once
+// per packet version (injection, host response, originated ICMP) and
+// threaded through the walk instead of being re-parsed at every hop.
+func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (resp []byte, steps int, ok bool) {
+	var hdr packet.IPv4
+	payload, err := packet.ParseIPv4Into(pkt, &hdr)
+	if err != nil {
+		return nil, 0, false
+	}
 	for ; steps < n.maxSteps; steps++ {
-		hdr, _, err := packet.ParseIPv4(pkt)
-		if err != nil {
-			return nil, steps, false
-		}
-
 		// Final delivery to the measurement source.
 		if at == n.source && hdr.Dst == n.source {
 			return pkt, steps, true
@@ -202,11 +246,14 @@ func (n *Network) run(pkt []byte, at netip.Addr, originated bool) (resp []byte, 
 			if hdr.Dst != h.Addr {
 				return nil, steps, false // mis-delivered; drop
 			}
-			r := h.respond(pkt)
+			r := h.respond(&hdr, payload, pkt)
 			if r == nil {
 				return nil, steps, false
 			}
 			pkt, at, originated = r, n.hostGateway[h.Addr], false
+			if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
+				return nil, steps, false
+			}
 			continue
 		}
 
@@ -214,36 +261,46 @@ func (n *Network) run(pkt []byte, at netip.Addr, originated bool) (resp []byte, 
 		if !isRouter {
 			return nil, steps, false // dangling adjacency
 		}
+		cfg := r.config.Load()
 
 		// Packet addressed to one of the router's own interfaces: the
 		// router behaves like a host (intermediate hops are pingable).
 		if !originated && r.ownsAddr(hdr.Dst) {
-			reply := n.routerRespondLocal(r, hdr.Dst, pkt)
+			reply := routerRespondLocal(r, cfg, hdr.Dst, &hdr, payload, pkt)
 			if reply == nil {
 				return nil, steps, false
 			}
 			pkt, originated = reply, true
+			if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
+				return nil, steps, false
+			}
 			continue
 		}
 
 		if !originated {
-			done, reply := n.routerTTLCheck(r, at, pkt, hdr)
+			done, reply := routerTTLCheck(r, cfg, at, pkt, &hdr, payload)
 			if done {
 				if reply == nil {
 					return nil, steps, false
 				}
 				pkt, originated = reply, true
+				if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
+					return nil, steps, false
+				}
 				continue
 			}
 		}
 
 		// Forwarding decision.
-		next, reply, dropped := n.routerForward(r, at, pkt, hdr, originated)
+		next, reply, dropped := n.routerForward(rng, r, cfg, at, pkt, &hdr, payload, originated)
 		if dropped {
 			return nil, steps, false
 		}
 		if reply != nil {
 			pkt, originated = reply, true
+			if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
+				return nil, steps, false
+			}
 			continue
 		}
 		at, originated = next, false
@@ -254,27 +311,27 @@ func (n *Network) run(pkt []byte, at netip.Addr, originated bool) (resp []byte, 
 // routerTTLCheck applies TTL processing for a transit packet arriving at
 // router r. done=true means the packet will not be forwarded as-is: either
 // reply is the ICMP error the router originates, or nil for a silent drop.
-func (n *Network) routerTTLCheck(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4) (done bool, reply []byte) {
-	faults := r.faultsCopy()
+func routerTTLCheck(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) (done bool, reply []byte) {
 	switch {
 	case hdr.TTL == 0:
 		// Arrived already dead (zero-TTL forwarded upstream): quote TTL 0.
-		if faults.Silent {
+		if cfg.faults.Silent {
 			return true, nil
 		}
-		return true, n.originateTimeExceeded(r, at, pkt, hdr)
+		return true, originateTimeExceeded(r, cfg, at, pkt, hdr, payload)
 	case hdr.TTL == 1:
-		if faults.ZeroTTLForward {
+		if cfg.faults.ZeroTTLForward {
 			// The Fig. 4 misbehaviour: forward with TTL 0.
 			if err := packet.PatchTTL(pkt, 0); err != nil {
 				return true, nil
 			}
+			hdr.TTL = 0
 			return false, nil
 		}
-		if faults.Silent {
+		if cfg.faults.Silent {
 			return true, nil
 		}
-		return true, n.originateTimeExceeded(r, at, pkt, hdr)
+		return true, originateTimeExceeded(r, cfg, at, pkt, hdr, payload)
 	default:
 		if err := packet.PatchTTL(pkt, hdr.TTL-1); err != nil {
 			return true, nil
@@ -288,36 +345,35 @@ func (n *Network) routerTTLCheck(r *Router, at netip.Addr, pkt []byte, hdr *pack
 // Exactly one of (next, reply, dropped) is meaningful: a valid next means
 // the packet moves to that interface; reply is an originated ICMP error;
 // dropped means silence.
-func (n *Network) routerForward(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4, originated bool) (next netip.Addr, reply []byte, dropped bool) {
-	faults := r.faultsCopy()
+func (n *Network) routerForward(rng *prng, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte, originated bool) (next netip.Addr, reply []byte, dropped bool) {
 	isTransitProbe := !originated
-	if faults.Unreachable && isTransitProbe {
-		return netip.Addr{}, n.originateUnreachable(r, at, pkt, hdr, faults), false
+	if cfg.faults.Unreachable && isTransitProbe {
+		return netip.Addr{}, originateUnreachable(r, cfg, at, pkt, hdr, payload), false
 	}
-	if faults.ForwardOverride.IsValid() && !originated {
-		return faults.ForwardOverride, nil, false
+	if cfg.faults.ForwardOverride.IsValid() && !originated {
+		return cfg.faults.ForwardOverride, nil, false
 	}
 	rt, found := r.lookup(hdr.Dst)
 	if !found {
 		if originated {
 			return netip.Addr{}, nil, true // can't route our own ICMP; drop
 		}
-		return netip.Addr{}, n.originateUnreachable(r, at, pkt, hdr, faults), false
+		return netip.Addr{}, originateUnreachable(r, cfg, at, pkt, hdr, payload), false
 	}
-	if faults.DropProbability > 0 && !originated && n.rng.Float64() < faults.DropProbability {
+	if cfg.faults.DropProbability > 0 && !originated && rng.Float64() < cfg.faults.DropProbability {
 		return netip.Addr{}, nil, true
 	}
-	var rng *rand.Rand
+	var hopRng *prng
 	if n.RandomPerPacket {
-		rng = n.rng
+		hopRng = rng
 	}
-	hop, err := r.selectHop(rt, pkt, hdr.Dst, rng)
+	hop, err := r.selectHop(rt, hdr, payload, hopRng)
 	if err != nil {
 		return netip.Addr{}, nil, true
 	}
 	// NAT egress rewriting (Fig. 5): packets whose source lies inside the
 	// NAT prefix leaving for an outside adjacency get the public address.
-	nat := r.natCopy()
+	nat := cfg.nat
 	if nat.Enabled() && hdr.Src.Is4() && nat.Inside.Contains(hdr.Src) && !nat.Inside.Contains(hop.Via) {
 		if err := packet.PatchSrc(pkt, nat.Public); err == nil {
 			hdr.Src = nat.Public
@@ -326,22 +382,35 @@ func (n *Network) routerForward(r *Router, at netip.Addr, pkt []byte, hdr *packe
 	return hop.Via, nil, false
 }
 
+// quoteOf returns the RFC 792 quotation of the packet: its IP header plus
+// the first eight payload octets. The returned slice aliases pkt; callers
+// hand it to MarshalIPv4ICMP, which copies it out before returning.
+func quoteOf(pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
+	qn := 8
+	if len(payload) < qn {
+		qn = len(payload)
+	}
+	return pkt[:hdr.HeaderLen()+qn]
+}
+
 // originateTimeExceeded builds the serialized ICMP Time Exceeded response
 // for pkt arriving on interface `at` of router r (quoting pkt as received,
 // per Section 2.2: normal behaviour quotes probe TTL 1).
-func (n *Network) originateTimeExceeded(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4) []byte {
-	if isICMPError(pkt) {
+func originateTimeExceeded(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
+	if isICMPError(hdr, payload) {
 		return nil // never generate ICMP about ICMP errors (RFC 792)
 	}
-	m, err := packet.TimeExceeded(pkt)
-	if err != nil {
-		return nil
+	m := packet.ICMP{
+		Type:    packet.ICMPTypeTimeExceeded,
+		Code:    packet.CodeTTLExceeded,
+		Payload: quoteOf(pkt, hdr, payload),
 	}
-	return n.marshalFromRouter(r, at, hdr.Src, m)
+	return marshalFromRouter(r, cfg, at, hdr.Src, &m)
 }
 
-func (n *Network) originateUnreachable(r *Router, at netip.Addr, pkt []byte, hdr *packet.IPv4, faults Faults) []byte {
-	if faults.Silent || isICMPError(pkt) {
+func originateUnreachable(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
+	faults := cfg.faults
+	if faults.Silent || isICMPError(hdr, payload) {
 		return nil
 	}
 	code := faults.UnreachableCode
@@ -350,25 +419,22 @@ func (n *Network) originateUnreachable(r *Router, at netip.Addr, pkt []byte, hdr
 	} else if faults.Unreachable && faults.UnreachableCode == 0 {
 		code = packet.CodeHostUnreachable
 	}
-	m, err := packet.DestUnreachable(code, pkt)
-	if err != nil {
-		return nil
+	m := packet.ICMP{
+		Type:    packet.ICMPTypeDestUnreachable,
+		Code:    code,
+		Payload: quoteOf(pkt, hdr, payload),
 	}
-	return n.marshalFromRouter(r, at, hdr.Src, m)
+	return marshalFromRouter(r, cfg, at, hdr.Src, &m)
 }
 
-func (n *Network) marshalFromRouter(r *Router, from, to netip.Addr, m *packet.ICMP) []byte {
-	body, err := m.Marshal()
-	if err != nil {
-		return nil
-	}
-	out, err := (&packet.IPv4{
-		TTL:      r.icmpTTLCopy(),
+func marshalFromRouter(r *Router, cfg *routerConfig, from, to netip.Addr, m *packet.ICMP) []byte {
+	out, err := packet.MarshalIPv4ICMP(&packet.IPv4{
+		TTL:      cfg.icmpTTL,
 		Protocol: packet.ProtoICMP,
-		ID:       r.nextIPID(),
+		ID:       r.nextIPID(cfg),
 		Src:      from,
 		Dst:      to,
-	}).Marshal(body)
+	}, m)
 	if err != nil {
 		return nil
 	}
@@ -376,33 +442,30 @@ func (n *Network) marshalFromRouter(r *Router, from, to netip.Addr, m *packet.IC
 }
 
 // routerRespondLocal answers a probe addressed to the router itself.
-func (n *Network) routerRespondLocal(r *Router, local netip.Addr, pkt []byte) []byte {
-	hdr, payload, err := packet.ParseIPv4(pkt)
-	if err != nil {
-		return nil
-	}
-	if r.faultsCopy().Silent {
+func routerRespondLocal(r *Router, cfg *routerConfig, local netip.Addr, hdr *packet.IPv4, payload, pkt []byte) []byte {
+	if cfg.faults.Silent {
 		return nil
 	}
 	switch hdr.Protocol {
 	case packet.ProtoUDP:
-		m, err := packet.DestUnreachable(packet.CodePortUnreachable, pkt)
-		if err != nil {
-			return nil
+		m := packet.ICMP{
+			Type:    packet.ICMPTypeDestUnreachable,
+			Code:    packet.CodePortUnreachable,
+			Payload: quoteOf(pkt, hdr, payload),
 		}
-		return n.marshalFromRouter(r, local, hdr.Src, m)
+		return marshalFromRouter(r, cfg, local, hdr.Src, &m)
 	case packet.ProtoICMP:
 		em, err := packet.ParseICMP(payload)
 		if err != nil || em.Type != packet.ICMPTypeEchoRequest {
 			return nil
 		}
-		reply := &packet.ICMP{
+		reply := packet.ICMP{
 			Type:    packet.ICMPTypeEchoReply,
 			ID:      em.ID,
 			Seq:     em.Seq,
-			Payload: append([]byte(nil), em.Payload...),
+			Payload: em.Payload, // copied out by MarshalIPv4ICMP
 		}
-		return n.marshalFromRouter(r, local, hdr.Src, reply)
+		return marshalFromRouter(r, cfg, local, hdr.Src, &reply)
 	case packet.ProtoTCP:
 		th, _, _, err := packet.ParseTCP(payload)
 		if err != nil || th == nil {
@@ -419,9 +482,9 @@ func (n *Network) routerRespondLocal(r *Router, local netip.Addr, pkt []byte) []
 			return nil
 		}
 		out, err := (&packet.IPv4{
-			TTL:      r.icmpTTLCopy(),
+			TTL:      cfg.icmpTTL,
 			Protocol: packet.ProtoTCP,
-			ID:       r.nextIPID(),
+			ID:       r.nextIPID(cfg),
 			Src:      local,
 			Dst:      hdr.Src,
 		}).Marshal(seg)
@@ -434,11 +497,10 @@ func (n *Network) routerRespondLocal(r *Router, local netip.Addr, pkt []byte) []
 	}
 }
 
-// isICMPError reports whether the serialized packet is an ICMP error
-// message (which must never trigger further ICMP errors).
-func isICMPError(pkt []byte) bool {
-	hdr, payload, err := packet.ParseIPv4(pkt)
-	if err != nil || hdr.Protocol != packet.ProtoICMP || len(payload) < 1 {
+// isICMPError reports whether the parsed packet is an ICMP error message
+// (which must never trigger further ICMP errors).
+func isICMPError(hdr *packet.IPv4, payload []byte) bool {
+	if hdr.Protocol != packet.ProtoICMP || len(payload) < 1 {
 		return false
 	}
 	t := payload[0]
@@ -452,22 +514,4 @@ func (r *Router) ownsAddr(a netip.Addr) bool {
 		}
 	}
 	return false
-}
-
-func (r *Router) faultsCopy() Faults {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.faults
-}
-
-func (r *Router) natCopy() NAT {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.nat
-}
-
-func (r *Router) icmpTTLCopy() uint8 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.icmpTTL
 }

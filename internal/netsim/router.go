@@ -22,15 +22,63 @@
 //     the two observables Paris traceroute adds (Section 2.2);
 //   - transient forwarding loops and mid-trace routing changes
 //     (cycle causes, Section 4.2.1).
+//
+// # Concurrency model
+//
+// Network.Exchange is safe for concurrent use, and concurrent exchanges
+// forward in parallel — the engine that lets the measurement campaign's 32
+// workers (Section 3) actually run side by side. The design is read-mostly:
+//
+//   - The Network's topology registry (interface -> router, host
+//     attachments, the source) is guarded by an RWMutex. Registration
+//     (AddRouter, AddIface, AttachHost, SetSource, OnSend) takes the write
+//     lock; every Exchange holds only the read lock, so packets in flight
+//     exclude topology registration but not each other.
+//   - Per-router behavioural configuration (faults, NAT, initial ICMP TTL,
+//     IP ID stride) lives in an immutable snapshot behind an atomic
+//     pointer. The forwarding loop loads it once per router visit;
+//     SetFaults and friends publish a fresh snapshot, so routing dynamics
+//     (flaps, transient loops, mid-trace flips) can be injected while
+//     probes are in flight without a lock.
+//   - Forwarding tables are guarded by a per-router RWMutex: lookups take
+//     a read lock for the duration of one longest-prefix match; route
+//     mutation (AddRoute, SetRoutes, RewriteRoutes) takes the write lock.
+//   - Counters (the network probe counter, per-router IP ID and
+//     round-robin counters, per-host IP ID) are atomics.
+//
+// # Determinism contract
+//
+// All randomized behaviour (random per-packet spreading, probabilistic
+// drops) derives from a per-exchange SplitMix64 stream seeded with
+// (network seed, probe counter); there is no shared random generator.
+// Consequences:
+//
+//   - A fully deterministic topology (per-flow and per-destination
+//     balancing only, no drop faults, no per-probe hooks) yields
+//     bit-identical traces for a given probe, regardless of how many
+//     exchanges run concurrently: the forwarding decision is a pure
+//     function of the probe bytes. Campaign statistics are then identical
+//     for 1 and for 32 workers (asserted by TestCampaignWorkerInvariance).
+//   - Deterministic round-robin (RandomPerPacket = false) and every other
+//     counter-driven observable (IP IDs) depend on the arrival order of
+//     probes at each router, exactly as on a real router shared by
+//     concurrent measurement processes.
+//   - With randomness in play, a sequential run is reproducible seed-for-
+//     seed: probe counter values — and hence per-exchange random streams —
+//     are assigned in submission order. Concurrent runs draw the same
+//     per-probe streams but interleave counter assignment by schedule,
+//     which is the regime the paper's own parallel campaign operates in;
+//     figure-level statistics are schedule-free in expectation.
 package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flow"
+	"repro/internal/packet"
 )
 
 // Policy selects how a router spreads traffic over equal-cost next hops.
@@ -123,52 +171,69 @@ type NAT struct {
 // Enabled reports whether the NAT configuration is active.
 func (n NAT) Enabled() bool { return n.Public.IsValid() }
 
-// Router is a simulated network-layer device.
-type Router struct {
-	Name string
-
-	// ifaces lists the router's interface addresses; index = interface
-	// number as drawn in the paper's figures (A0, A1, ...).
-	ifaces []netip.Addr
-
-	table []Route
-	// host32 indexes /32 entries of table for O(1) lookup; campaign
-	// topologies install one host route per destination along each path,
-	// so core routers carry thousands of them.
-	host32 map[netip.Addr]int
-
-	// ipID is the router's internal 16-bit counter stamped into the IP ID
-	// of every packet it originates, "usually incremented for each packet
-	// sent" (Section 2.2).
-	ipID uint16
-	// ipIDStride is the counter increment per originated packet; real
-	// routers also emit non-measurement traffic, so strides >1 model a
-	// busy box.
-	ipIDStride uint16
+// routerConfig is the immutable behavioural snapshot of a router: the
+// read-mostly configuration the forwarding hot path consults on every
+// visit. Mutators build a fresh copy and publish it atomically, so readers
+// never lock and never observe a torn update.
+type routerConfig struct {
+	faults Faults
+	nat    NAT
 
 	// icmpTTL is the initial TTL of ICMP messages this router originates.
 	// Most routers use 255 (Section 4.1.1); some stacks use 64 or 128.
 	icmpTTL uint8
 
-	faults Faults
-	nat    NAT
+	// ipIDStride is the counter increment per originated packet; real
+	// routers also emit non-measurement traffic, so strides >1 model a
+	// busy box.
+	ipIDStride uint16
+}
+
+// Router is a simulated network-layer device.
+type Router struct {
+	Name string
+
+	// ifaces lists the router's interface addresses; index = interface
+	// number as drawn in the paper's figures (A0, A1, ...). Grown only
+	// during topology building (Network.AddIface holds the network write
+	// lock, excluding packets in flight).
+	ifaces []netip.Addr
+
+	// config is the atomically-published behavioural snapshot; see
+	// routerConfig.
+	config atomic.Pointer[routerConfig]
+
+	// tableMu guards the forwarding table. Lookups take the read lock for
+	// one longest-prefix match; route mutation takes the write lock.
+	tableMu sync.RWMutex
+	table   []Route
+	// host32 indexes /32 entries of table for O(1) lookup; campaign
+	// topologies install one host route per destination along each path,
+	// so core routers carry thousands of them.
+	host32 map[netip.Addr]int
+
+	// ipID is the router's internal counter stamped (mod 2^16) into the
+	// IP ID of every packet it originates, "usually incremented for each
+	// packet sent" (Section 2.2).
+	ipID atomic.Uint32
 
 	// perPacketCounter drives round-robin PerPacket balancing when the
 	// network is configured for deterministic (non-random) spreading.
-	perPacketCounter uint64
+	perPacketCounter atomic.Uint64
 
+	// mu serializes config writers (read-modify-write of the snapshot).
 	mu sync.Mutex
 }
 
 // NewRouter creates a router with the given name and interface addresses.
 // Interface 0 is conventionally the upstream (source-facing) interface.
 func NewRouter(name string, ifaces ...netip.Addr) *Router {
-	return &Router{
-		Name:       name,
-		ifaces:     append([]netip.Addr(nil), ifaces...),
-		icmpTTL:    255,
-		ipIDStride: 1,
+	r := &Router{
+		Name:   name,
+		ifaces: append([]netip.Addr(nil), ifaces...),
 	}
+	r.config.Store(&routerConfig{icmpTTL: 255, ipIDStride: 1})
+	return r
 }
 
 // Iface returns the address of interface i.
@@ -182,11 +247,21 @@ func (r *Router) Iface(i int) netip.Addr {
 // NumIfaces returns the number of interfaces.
 func (r *Router) NumIfaces() int { return len(r.ifaces) }
 
+// updateConfig publishes a new behavioural snapshot produced by applying f
+// to a copy of the current one.
+func (r *Router) updateConfig(f func(*routerConfig)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg := *r.config.Load()
+	f(&cfg)
+	r.config.Store(&cfg)
+}
+
 // AddRoute appends a forwarding-table entry. Entries are matched by longest
 // prefix; ties go to the earliest entry.
 func (r *Router) AddRoute(rt Route) *Router {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tableMu.Lock()
+	defer r.tableMu.Unlock()
 	r.addRouteLocked(rt)
 	return r
 }
@@ -205,8 +280,8 @@ func (r *Router) addRouteLocked(rt Route) {
 // with its return value. Routing-change injection (mid-trace flips,
 // transient forwarding loops) uses this to mutate tables atomically.
 func (r *Router) RewriteRoutes(f func(Route) Route) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tableMu.Lock()
+	defer r.tableMu.Unlock()
 	old := r.table
 	r.table = nil
 	r.host32 = nil
@@ -218,8 +293,8 @@ func (r *Router) RewriteRoutes(f func(Route) Route) {
 // SetRoutes replaces the entire forwarding table (used by routing-change
 // injection between or during traces).
 func (r *Router) SetRoutes(rts []Route) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tableMu.Lock()
+	defer r.tableMu.Unlock()
 	r.table = nil
 	r.host32 = nil
 	for _, rt := range rts {
@@ -229,59 +304,50 @@ func (r *Router) SetRoutes(rts []Route) {
 
 // Routes returns a copy of the forwarding table.
 func (r *Router) Routes() []Route {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tableMu.RLock()
+	defer r.tableMu.RUnlock()
 	return append([]Route(nil), r.table...)
 }
 
 // SetFaults replaces the router's fault configuration.
 func (r *Router) SetFaults(f Faults) *Router {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.faults = f
+	r.updateConfig(func(cfg *routerConfig) { cfg.faults = f })
 	return r
 }
 
 // SetNAT configures source rewriting for packets leaving the inside prefix.
 func (r *Router) SetNAT(n NAT) *Router {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nat = n
+	r.updateConfig(func(cfg *routerConfig) { cfg.nat = n })
 	return r
 }
 
 // SetICMPTTL sets the initial TTL for ICMP messages this router originates.
 func (r *Router) SetICMPTTL(ttl uint8) *Router {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.icmpTTL = ttl
+	r.updateConfig(func(cfg *routerConfig) { cfg.icmpTTL = ttl })
 	return r
 }
 
 // SetIPIDStride sets the per-packet increment of the router's IP ID counter.
 func (r *Router) SetIPIDStride(stride uint16) *Router {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if stride == 0 {
 		stride = 1
 	}
-	r.ipIDStride = stride
+	r.updateConfig(func(cfg *routerConfig) { cfg.ipIDStride = stride })
 	return r
 }
 
-// nextIPID advances and returns the router's IP ID counter.
-func (r *Router) nextIPID() uint16 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.ipID += r.ipIDStride
-	return r.ipID
+// nextIPID advances and returns the router's IP ID counter. The counter
+// accumulates in 32 bits and is truncated, which equals 16-bit modular
+// addition per originated packet.
+func (r *Router) nextIPID(cfg *routerConfig) uint16 {
+	return uint16(r.ipID.Add(uint32(cfg.ipIDStride)))
 }
 
 // lookup performs longest-prefix-match on the forwarding table, consulting
 // the /32 index first.
 func (r *Router) lookup(dst netip.Addr) (Route, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tableMu.RLock()
+	defer r.tableMu.RUnlock()
 	if i, ok := r.host32[dst]; ok {
 		return r.table[i], true
 	}
@@ -301,8 +367,10 @@ func (r *Router) lookup(dst netip.Addr) (Route, bool) {
 	return r.table[best], true
 }
 
-// selectHop chooses one of the route's equal-cost next hops for pkt.
-func (r *Router) selectHop(rt Route, pkt []byte, dst netip.Addr, rng *rand.Rand) (NextHop, error) {
+// selectHop chooses one of the route's equal-cost next hops for the packet
+// with the given parsed header and transport payload. rng is nil for
+// deterministic round-robin PerPacket spreading.
+func (r *Router) selectHop(rt Route, hdr *packet.IPv4, payload []byte, rng *prng) (NextHop, error) {
 	n := len(rt.Hops)
 	if n == 0 {
 		return NextHop{}, fmt.Errorf("netsim: route %v on %s has no next hops", rt.Prefix, r.Name)
@@ -312,7 +380,7 @@ func (r *Router) selectHop(rt Route, pkt []byte, dst netip.Addr, rng *rand.Rand)
 	}
 	switch rt.Balance {
 	case PerFlow:
-		k, err := flow.Extract(pkt, rt.FlowOpts)
+		k, err := flow.FromParsed(hdr, payload, rt.FlowOpts)
 		if err != nil {
 			return NextHop{}, err
 		}
@@ -321,13 +389,10 @@ func (r *Router) selectHop(rt Route, pkt []byte, dst netip.Addr, rng *rand.Rand)
 		if rng != nil {
 			return rt.Hops[rng.Intn(n)], nil
 		}
-		r.mu.Lock()
-		i := int(r.perPacketCounter % uint64(n))
-		r.perPacketCounter++
-		r.mu.Unlock()
+		i := int((r.perPacketCounter.Add(1) - 1) % uint64(n))
 		return rt.Hops[i], nil
 	case PerDestination:
-		k, err := flow.Extract(pkt, flow.Options{Kind: flow.KeyDestination})
+		k, err := flow.FromParsed(hdr, payload, flow.Options{Kind: flow.KeyDestination})
 		if err != nil {
 			return NextHop{}, err
 		}

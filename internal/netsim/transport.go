@@ -8,6 +8,11 @@ import (
 // Transport adapts a Network to the tracer.Transport interface: one
 // synchronous probe/response exchange per call, with a synthetic RTT
 // proportional to the number of node traversals.
+//
+// Transport is safe for concurrent use: exchanges forward in parallel
+// (see the package comment's concurrency model), so one Transport can be
+// shared by all of a campaign's workers. Set PerHop before handing the
+// transport to concurrent tracers.
 type Transport struct {
 	net *Network
 	// PerHop is the synthetic one-way per-node latency used to derive

@@ -61,6 +61,33 @@ func (m *ICMP) Marshal() ([]byte, error) {
 	return b, nil
 }
 
+// MarshalIPv4ICMP serializes the IPv4 header ip carrying the ICMP message m
+// as its entire payload, in a single allocation (where m.Marshal followed by
+// ip.Marshal would make two and copy the body twice). ip.Protocol should be
+// ProtoICMP. m.Payload may alias a live packet buffer: it is copied into the
+// output before this function returns. This is the response path of the
+// network simulator, hit once per ICMP error or echo reply it originates.
+func MarshalIPv4ICMP(ip *IPv4, m *ICMP) ([]byte, error) {
+	if err := ip.headerCheck(); err != nil {
+		return nil, err
+	}
+	hlen := ip.HeaderLen()
+	total := hlen + ICMPHeaderLen + len(m.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 packet too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	body := b[hlen:]
+	body[0] = m.Type
+	body[1] = m.Code
+	put16(body[4:], m.ID)
+	put16(body[6:], m.Seq)
+	copy(body[8:], m.Payload)
+	put16(body[2:], Checksum(body))
+	ip.putHeader(b, total)
+	return b, nil
+}
+
 // ParseICMP decodes an ICMPv4 message.
 func ParseICMP(b []byte) (*ICMP, error) {
 	if len(b) < ICMPHeaderLen {

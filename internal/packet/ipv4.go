@@ -47,22 +47,22 @@ const (
 // HeaderLen returns the header length in bytes including options.
 func (h *IPv4) HeaderLen() int { return IPv4HeaderLen + len(h.Options) }
 
-// Marshal serializes the header followed by payload into a fresh slice,
-// computing TotalLen and the header checksum. Src and Dst must be valid
-// IPv4 addresses.
-func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
+// headerCheck validates the marshal preconditions shared by Marshal and
+// MarshalIPv4ICMP.
+func (h *IPv4) headerCheck() error {
 	if !h.Src.Is4() || !h.Dst.Is4() {
-		return nil, fmt.Errorf("packet: IPv4 marshal requires v4 addresses, got src=%v dst=%v", h.Src, h.Dst)
+		return fmt.Errorf("packet: IPv4 marshal requires v4 addresses, got src=%v dst=%v", h.Src, h.Dst)
 	}
 	if len(h.Options)%4 != 0 {
-		return nil, fmt.Errorf("packet: IPv4 options length %d not a multiple of 4", len(h.Options))
+		return fmt.Errorf("packet: IPv4 options length %d not a multiple of 4", len(h.Options))
 	}
+	return nil
+}
+
+// putHeader writes the serialized header (with checksum) into the first
+// HeaderLen bytes of b, stamping total as the Total Length field.
+func (h *IPv4) putHeader(b []byte, total int) {
 	hlen := h.HeaderLen()
-	total := hlen + len(payload)
-	if total > 0xffff {
-		return nil, fmt.Errorf("packet: IPv4 packet too large (%d bytes)", total)
-	}
-	b := make([]byte, total)
 	b[0] = 4<<4 | uint8(hlen/4)
 	b[1] = h.TOS
 	put16(b[2:], uint16(total))
@@ -77,6 +77,22 @@ func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
 	copy(b[16:20], dst[:])
 	copy(b[20:hlen], h.Options)
 	put16(b[10:], Checksum(b[:hlen]))
+}
+
+// Marshal serializes the header followed by payload into a fresh slice,
+// computing TotalLen and the header checksum. Src and Dst must be valid
+// IPv4 addresses.
+func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
+	if err := h.headerCheck(); err != nil {
+		return nil, err
+	}
+	hlen := h.HeaderLen()
+	total := hlen + len(payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 packet too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	h.putHeader(b, total)
 	copy(b[hlen:], payload)
 	return b, nil
 }
@@ -84,17 +100,31 @@ func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
 // ParseIPv4 decodes the IPv4 header at the front of b. It returns the parsed
 // header and the transport payload (aliasing b, not copied).
 func ParseIPv4(b []byte) (*IPv4, []byte, error) {
+	h := new(IPv4)
+	payload, err := ParseIPv4Into(b, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// ParseIPv4Into decodes the IPv4 header at the front of b into h, avoiding
+// the heap allocation of ParseIPv4. It returns the transport payload
+// (aliasing b, not copied). h is overwritten entirely. This is the parser
+// the simulator's forwarding loop uses once per packet version instead of
+// once per hop.
+func ParseIPv4Into(b []byte, h *IPv4) ([]byte, error) {
 	if len(b) < IPv4HeaderLen {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if b[0]>>4 != 4 {
-		return nil, nil, ErrBadVersion
+		return nil, ErrBadVersion
 	}
 	hlen := int(b[0]&0x0f) * 4
 	if hlen < IPv4HeaderLen || len(b) < hlen {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
-	h := &IPv4{
+	*h = IPv4{
 		TOS:      b[1],
 		TotalLen: get16(b[2:]),
 		ID:       get16(b[4:]),
@@ -111,7 +141,7 @@ func ParseIPv4(b []byte) (*IPv4, []byte, error) {
 	}
 	end := int(h.TotalLen)
 	if end < hlen {
-		return nil, nil, ErrBadLength
+		return nil, ErrBadLength
 	}
 	if end > len(b) {
 		// Quoted packets inside ICMP errors are legitimately truncated to
@@ -119,7 +149,7 @@ func ParseIPv4(b []byte) (*IPv4, []byte, error) {
 		end = len(b)
 	}
 	h.PayloadLen = end - hlen
-	return h, b[hlen:end], nil
+	return b[hlen:end], nil
 }
 
 // PatchTTL rewrites the TTL of the serialized IPv4 packet pkt in place and

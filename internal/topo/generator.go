@@ -333,12 +333,14 @@ func Generate(cfg GenConfig) *Scenario {
 			if !ok {
 				return
 			}
+			// One mutex covers both the rng draw and the flip: probes
+			// now run concurrently, and flipState's bookkeeping (onA)
+			// is not safe to mutate from two hooks at once.
 			mu.Lock()
-			hit := flipRng.Float64() < cfg.FlipPerProbe
-			mu.Unlock()
-			if hit {
+			if flipRng.Float64() < cfg.FlipPerProbe {
 				fs.flip()
 			}
+			mu.Unlock()
 		})
 	}
 	return sc
