@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -210,6 +211,42 @@ func BenchmarkCampaignRound(b *testing.B) {
 		}
 		if _, err := camp.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignRoundSharded sweeps one measurement round over a
+// (shards × workers) grid: the same 500-destination topology partitioned
+// across S independent networks, probed by shard-affine workers. At equal
+// worker count the sharded engine must be no slower than the single
+// network (shards=1 is the baseline row); with enough cores each extra
+// shard removes one more source of read-lock and cache-line sharing.
+// BENCH_2.json records a full sweep.
+func BenchmarkCampaignRoundSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				cfg := topo.DefaultGenConfig()
+				cfg.Destinations = 500
+				cfg.Shards = shards
+				sc := topo.Generate(cfg)
+				tp := sc.Transport()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					camp, err := measure.NewCampaign(tp, measure.Config{
+						Dests: sc.Dests, Rounds: 1, Workers: workers,
+						RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
+						ShardOf: sc.ShardOf,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := camp.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	anomaly-study [-dests N] [-rounds N] [-workers N] [-seed N] [-paper]
+//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-seed N] [-paper]
 //
 // -paper selects the full-scale configuration (5,000 destinations; pair it
 // with -rounds 556 for the complete study — expect minutes of runtime).
+// -shards partitions the topology across N independent simulated networks
+// probed by shard-affine workers. Each destination's anomaly behaviour is
+// determined by its own pod's gadgets, so the shard count changes the
+// scaling behaviour, not the Section 4 statistics (bit-identical on
+// schedule-free topologies, equal in distribution otherwise).
 package main
 
 import (
@@ -18,7 +23,6 @@ import (
 	"os"
 
 	"repro/internal/measure"
-	"repro/internal/netsim"
 	"repro/internal/topo"
 )
 
@@ -26,6 +30,7 @@ func main() {
 	dests := flag.Int("dests", 500, "number of destinations")
 	rounds := flag.Int("rounds", 25, "number of measurement rounds")
 	workers := flag.Int("workers", 32, "parallel probing workers")
+	shards := flag.Int("shards", 1, "independent network shards the topology is partitioned across")
 	seed := flag.Int64("seed", 42, "topology and dynamics seed")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (5,000 destinations)")
 	truth := flag.Bool("truth", false, "print generator ground truth")
@@ -36,6 +41,7 @@ func main() {
 		cfg = topo.PaperScaleConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	if !*paper {
 		cfg.Destinations = *dests
 	}
@@ -45,12 +51,13 @@ func main() {
 		fmt.Printf("ground truth: %+v\n\n", sc.Truth)
 	}
 
-	camp, err := measure.NewCampaign(netsim.NewTransport(sc.Net), measure.Config{
+	camp, err := measure.NewCampaign(sc.Transport(), measure.Config{
 		Dests:      sc.Dests,
 		Rounds:     *rounds,
 		Workers:    *workers,
 		RoundStart: sc.RoundStart,
 		PortSeed:   *seed,
+		ShardOf:    sc.ShardOf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-seed N]
+//	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-seed N]
 //
-// Scenarios: fig1, fig3, fig4, fig5, fig6, random.
+// Scenarios: fig1, fig3, fig4, fig5, fig6, random. With -shards N > 1 the
+// random scenario is partitioned across N independent simulated networks
+// and the trace runs through the sharded dispatch path.
 // Methods: paris-udp, paris-icmp, paris-tcp, classic-udp, classic-icmp,
 // tcptraceroute.
 //
@@ -32,15 +34,15 @@ func main() {
 	scenario := flag.String("scenario", "fig3", "topology: fig1, fig3, fig4, fig5, fig6, random")
 	method := flag.String("method", "paris-udp", "probing method")
 	flows := flag.Int("flows", 1, "number of flows (>1 enables multipath enumeration)")
+	shards := flag.Int("shards", 1, "network shards for the random scenario")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	net, dest, err := buildScenario(*scenario, *seed)
+	tp, dest, err := buildScenario(*scenario, *seed, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 		os.Exit(2)
 	}
-	tp := netsim.NewTransport(net)
 
 	if *flows > 1 {
 		enumerate(tp, dest, *flows)
@@ -108,29 +110,39 @@ func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
 	fmt.Printf("balancer classification: %v\n", kind)
 }
 
-func buildScenario(name string, seed int64) (*netsim.Network, netip.Addr, error) {
+func buildScenario(name string, seed int64, shards int) (tracer.Transport, netip.Addr, error) {
 	switch name {
 	case "fig1":
 		f := topo.BuildFigure1(seed, netsim.PerFlow)
-		return f.Net, f.Dest.Addr, nil
+		return netsim.NewTransport(f.Net), f.Dest.Addr, nil
 	case "fig3":
 		f := topo.BuildFigure3(seed)
-		return f.Net, f.Dest.Addr, nil
+		return netsim.NewTransport(f.Net), f.Dest.Addr, nil
 	case "fig4":
 		f := topo.BuildFigure4(seed)
-		return f.Net, f.Dest.Addr, nil
+		return netsim.NewTransport(f.Net), f.Dest.Addr, nil
 	case "fig5":
 		f := topo.BuildFigure5(seed)
-		return f.Net, f.Dest.Addr, nil
+		return netsim.NewTransport(f.Net), f.Dest.Addr, nil
 	case "fig6":
 		f := topo.BuildFigure6(seed, netsim.PerFlow)
-		return f.Net, f.Dest.Addr, nil
+		return netsim.NewTransport(f.Net), f.Dest.Addr, nil
 	case "random":
 		cfg := topo.DefaultGenConfig()
 		cfg.Seed = seed
 		cfg.Destinations = 50
+		cfg.Shards = shards
 		sc := topo.Generate(cfg)
-		return sc.Net, sc.Dests[0], nil
+		dest := sc.Dests[0]
+		// Sharded runs trace a destination off a nonzero shard, so the
+		// sharded dispatch path is actually exercised.
+		for _, d := range sc.Dests {
+			if sc.ShardOf[d] > 0 {
+				dest = d
+				break
+			}
+		}
+		return sc.Transport(), dest, nil
 	default:
 		return nil, netip.Addr{}, fmt.Errorf("unknown scenario %q", name)
 	}

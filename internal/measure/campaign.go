@@ -36,6 +36,14 @@ type Config struct {
 	// paper picks source/destination ports at random in
 	// [10000, 60000] per destination.
 	PortSeed int64
+	// ShardOf, when the transport is sharded (topo.GenConfig.Shards > 1),
+	// maps each destination to its shard index. The campaign then assigns
+	// workers shard-affine destination slices: as long as there are at
+	// least as many workers as shards, no worker ever probes two shards,
+	// so the per-shard networks (and the cache lines of their routers)
+	// are never shared across a worker's round. Nil keeps the paper's
+	// contiguous 1/Workers slicing.
+	ShardOf map[netip.Addr]int
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -83,6 +91,9 @@ type Campaign struct {
 	cfg  Config
 	tp   tracer.Transport
 	base tracer.Options // per-trace options before flow-identifier seeding
+	// plan[w] lists the destination indices worker w probes each round;
+	// computed once at construction (shard-affine when ShardOf is set).
+	plan [][]int
 }
 
 // NewCampaign creates a campaign; cfg.Dests must be non-empty.
@@ -95,7 +106,70 @@ func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
 		MinTTL:              cfg.MinTTL,
 		MaxTTL:              cfg.MaxTTL,
 		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
-	}}, nil
+	}, plan: workerPlan(cfg)}, nil
+}
+
+// workerPlan partitions the destination indices among the workers. Without
+// a shard map this is the paper's contiguous 1/Workers slicing. With one,
+// indices are first grouped by shard (stable within a shard, preserving
+// list order): when Workers >= shards each shard gets its own contiguous
+// block of workers sized W/S (the first W mod S shards getting one extra),
+// so no two shards ever share a worker; with fewer workers than shards,
+// whole shards are dealt round-robin so each still belongs to one worker.
+func workerPlan(cfg Config) [][]int {
+	plan := make([][]int, cfg.Workers)
+	if cfg.ShardOf == nil {
+		all := make([]int, len(cfg.Dests))
+		for i := range all {
+			all[i] = i
+		}
+		for w, c := range chunk(all, cfg.Workers) {
+			plan[w] = c
+		}
+		return plan
+	}
+	maxShard := 0
+	for _, s := range cfg.ShardOf {
+		if s > maxShard {
+			maxShard = s
+		}
+	}
+	byShard := make([][]int, maxShard+1)
+	for i, d := range cfg.Dests {
+		s := cfg.ShardOf[d] // absent destinations group into shard 0
+		byShard[s] = append(byShard[s], i)
+	}
+	if cfg.Workers < len(byShard) {
+		for s, idxs := range byShard {
+			w := s % cfg.Workers
+			plan[w] = append(plan[w], idxs...)
+		}
+		return plan
+	}
+	w := 0
+	for s, idxs := range byShard {
+		k := cfg.Workers / len(byShard)
+		if s < cfg.Workers%len(byShard) {
+			k++
+		}
+		for _, c := range chunk(idxs, k) {
+			plan[w] = append(plan[w], c...)
+			w++
+		}
+	}
+	return plan
+}
+
+// chunk splits idxs into k contiguous, maximally even pieces (the paper's
+// 1/Workers slicing); trailing pieces may be empty when k > len(idxs).
+func chunk(idxs []int, k int) [][]int {
+	out := make([][]int, k)
+	for j := 0; j < k; j++ {
+		lo := j * len(idxs) / k
+		hi := (j + 1) * len(idxs) / k
+		out[j] = idxs[lo:hi]
+	}
+	return out
 }
 
 // portFor derives the stable per-destination Paris flow ports in the
@@ -126,37 +200,48 @@ func (c *Campaign) Run() (*Results, error) {
 }
 
 // runRound measures every destination once with Workers parallel workers,
-// each holding a contiguous share of the list (the paper's 32 processes
-// each probe 1/32 of the destinations).
+// each holding its planned share of the list (the paper's 32 processes each
+// probe 1/32 of the destinations; sharded campaigns use shard-affine
+// shares). The first error any worker hits aborts the whole round: a done
+// channel closed under a sync.Once stops the remaining workers at their
+// next destination instead of letting them probe out their slices silently.
 func (c *Campaign) runRound(round int) ([]Pair, error) {
 	dests := c.cfg.Dests
 	out := make([]Pair, len(dests))
-	errs := make([]error, c.cfg.Workers)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+		stop     = make(chan struct{})
+		firstErr error
+	)
 	for w := 0; w < c.cfg.Workers; w++ {
-		lo := w * len(dests) / c.cfg.Workers
-		hi := (w + 1) * len(dests) / c.cfg.Workers
-		if lo == hi {
+		if len(c.plan[w]) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(idxs []int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for _, i := range idxs {
+				select {
+				case <-stop:
+					return
+				default:
+				}
 				p, err := c.measureOne(round, dests[i])
 				if err != nil {
-					errs[w] = err
+					stopOnce.Do(func() {
+						firstErr = err
+						close(stop)
+					})
 					return
 				}
 				out[i] = p
 			}
-		}(w, lo, hi)
+		}(c.plan[w])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

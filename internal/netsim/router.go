@@ -46,6 +46,21 @@
 //   - Counters (the network probe counter, per-router IP ID and
 //     round-robin counters, per-host IP ID) are atomics.
 //
+// # Shard ownership
+//
+// Beyond one concurrent Network, campaigns scale out horizontally by
+// partitioning a topology across several fully independent Networks
+// (topo.GenConfig.Shards, dispatched by ShardedTransport). The shard rule:
+// a router or host belongs to exactly one shard's Network, and cross-shard
+// addresses are unroutable by construction — no shard's forwarding tables
+// name an interface registered in another shard, so no lock, counter, or
+// cache line is ever shared between shards. Only the spine (gateway, core,
+// transit routers) is replicated per shard, with identical interface
+// addresses, which keeps measured routes independent of the shard count;
+// the replicas are distinct Router objects with their own IP ID counters,
+// so spine IP IDs advance per shard rather than globally (schedule-free
+// statistics are unaffected; see the determinism contract below).
+//
 // # Determinism contract
 //
 // All randomized behaviour (random per-packet spreading, probabilistic

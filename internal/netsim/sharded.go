@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// ShardedTransport fans probes out over several fully independent Network
+// shards, implementing the tracer Transport contract over all of them at
+// once. Each probe is dispatched to the shard owning its destination by one
+// read of an immutable map — no lock, no atomic, no shared counter sits on
+// the dispatch path, so shards never contend with each other and the only
+// synchronization a probe ever sees is its own shard's read lock.
+//
+// The shard map and the shard slice are frozen at construction; a router or
+// host belongs to exactly one shard, and addresses outside the probe's own
+// shard are unroutable by construction (the probe is dispatched to its
+// destination's shard and can only traverse routers registered there).
+// Destinations missing from the map dispatch to shard 0, where — unless
+// shard 0 happens to route them — they fail exactly like any unroutable
+// address.
+type ShardedTransport struct {
+	shards  []*Transport
+	shardOf map[netip.Addr]int
+	source  netip.Addr
+}
+
+// NewShardedTransport wraps one Transport per shard network. shardOf maps
+// each destination address to the index of the shard that routes it; it
+// must not be mutated after the call. All shards must share the same
+// measurement source address — the tracers see one source, many networks.
+func NewShardedTransport(nets []*Network, shardOf map[netip.Addr]int) *ShardedTransport {
+	if len(nets) == 0 {
+		panic("netsim: NewShardedTransport needs at least one shard")
+	}
+	t := &ShardedTransport{
+		shards:  make([]*Transport, len(nets)),
+		shardOf: shardOf,
+		source:  nets[0].Source(),
+	}
+	for i, n := range nets {
+		if src := n.Source(); src != t.source {
+			panic(fmt.Sprintf("netsim: shard %d source %v differs from shard 0 source %v", i, src, t.source))
+		}
+		t.shards[i] = NewTransport(n)
+	}
+	for a, s := range shardOf {
+		if s < 0 || s >= len(nets) {
+			panic(fmt.Sprintf("netsim: destination %v mapped to shard %d of %d", a, s, len(nets)))
+		}
+	}
+	return t
+}
+
+// Exchange implements the tracer Transport contract: it reads the probe's
+// destination address straight from the serialized IPv4 header and hands
+// the probe to that destination's shard.
+func (t *ShardedTransport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	idx := 0
+	if len(probe) >= 20 {
+		if s, ok := t.shardOf[netip.AddrFrom4([4]byte(probe[16:20]))]; ok {
+			idx = s
+		}
+	}
+	return t.shards[idx].Exchange(probe)
+}
+
+// Source implements the tracer Transport contract. The source address is
+// cached at construction, keeping the dispatch path free of the per-shard
+// topology locks.
+func (t *ShardedTransport) Source() netip.Addr { return t.source }

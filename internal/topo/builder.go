@@ -12,6 +12,25 @@ import (
 	"repro/internal/netsim"
 )
 
+// addrPool holds the allocation counters a Builder draws addresses and
+// router names from. Sharded generation hands one pool to several builders
+// (one per shard network) so a destination keeps the same address no matter
+// how many shards the topology is partitioned into; a pool copy can also be
+// used to replay an allocation sequence, which is how the per-shard spine
+// replicas end up with identical interface addresses.
+type addrPool struct {
+	pubCounter  uint32
+	privCounter uint32
+	hostCounter uint32
+	routerSeq   int
+}
+
+// newAddrPool returns a pool with the conventional starting points.
+func newAddrPool() *addrPool {
+	// Skip 10.0.0.0/24: the source and gateway live there.
+	return &addrPool{pubCounter: 255}
+}
+
 // Builder assembles a network incrementally, allocating addresses from
 // disjoint pools: 10/8 for public router interfaces, 192.168/16 for
 // NAT-inside interfaces, 172.16/12 for destination hosts.
@@ -23,20 +42,22 @@ type Builder struct {
 	// Gateway is the source's first-hop router.
 	Gateway *netsim.Router
 
-	pubCounter  uint32
-	privCounter uint32
-	hostCounter uint32
-	routerSeq   int
+	pool *addrPool
 }
 
 // NewBuilder creates a network seeded for reproducibility, with the
 // measurement source and its gateway router already wired.
 func NewBuilder(seed int64) *Builder {
+	return newPooledBuilder(seed, newAddrPool())
+}
+
+// newPooledBuilder is NewBuilder drawing addresses from a caller-supplied
+// (possibly shared) pool.
+func newPooledBuilder(seed int64, pool *addrPool) *Builder {
 	b := &Builder{
 		Net:    netsim.New(seed),
 		Source: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
-		// Skip 10.0.0.0/24: the source and gateway live there.
-		pubCounter: 255,
+		pool:   pool,
 	}
 	gwIf := netip.AddrFrom4([4]byte{10, 0, 0, 254})
 	b.Gateway = netsim.NewRouter("gw", gwIf)
@@ -52,8 +73,8 @@ func NewBuilder(seed int64) *Builder {
 
 // nextPub allocates the next public interface address from 10.0.1.0 up.
 func (b *Builder) nextPub() netip.Addr {
-	b.pubCounter++
-	c := b.pubCounter
+	b.pool.pubCounter++
+	c := b.pool.pubCounter
 	if c >= 1<<24-2 {
 		panic("topo: public address pool exhausted")
 	}
@@ -62,8 +83,8 @@ func (b *Builder) nextPub() netip.Addr {
 
 // nextPriv allocates the next NAT-inside interface address from 192.168/16.
 func (b *Builder) nextPriv() netip.Addr {
-	b.privCounter++
-	c := b.privCounter
+	b.pool.privCounter++
+	c := b.pool.privCounter
 	if c >= 1<<16-2 {
 		panic("topo: private address pool exhausted")
 	}
@@ -76,8 +97,8 @@ var PrivatePrefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 168, 0, 0}), 1
 
 // nextHostAddr allocates the next destination host address from 172.16/12.
 func (b *Builder) nextHostAddr() netip.Addr {
-	b.hostCounter++
-	c := b.hostCounter
+	b.pool.hostCounter++
+	c := b.pool.hostCounter
 	if c >= 1<<20-2 {
 		panic("topo: host address pool exhausted")
 	}
@@ -87,9 +108,9 @@ func (b *Builder) nextHostAddr() netip.Addr {
 // NewRouter creates and registers a router with no interfaces yet; Link
 // grows it one adjacency at a time.
 func (b *Builder) NewRouter(name string) *netsim.Router {
-	b.routerSeq++
+	b.pool.routerSeq++
 	if name == "" {
-		name = fmt.Sprintf("r%d", b.routerSeq)
+		name = fmt.Sprintf("r%d", b.pool.routerSeq)
 	}
 	r := netsim.NewRouter(name)
 	b.Net.AddRouter(r)
@@ -159,7 +180,7 @@ func (b *Builder) AttachHost(r *netsim.Router, name string, private bool) *netsi
 		rIf = b.nextPub()
 	}
 	if name == "" {
-		name = fmt.Sprintf("h%d", b.hostCounter)
+		name = fmt.Sprintf("h%d", b.pool.hostCounter)
 	}
 	h := netsim.NewHost(name, addr)
 	b.Net.AddIface(r, rIf)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/asmap"
 	"repro/internal/flow"
 	"repro/internal/netsim"
+	"repro/internal/tracer"
 )
 
 // GenConfig parameterizes the random Internet-like topology used for the
@@ -22,6 +23,15 @@ import (
 type GenConfig struct {
 	Seed         int64
 	Destinations int
+	// Shards partitions the topology across that many fully independent
+	// netsim.Network instances: the gateway/core/transit spine is
+	// replicated once per shard (with identical interface addresses, so
+	// measured routes do not depend on the shard count) and pods are
+	// distributed round-robin by pod — not by destination — so pod-level
+	// anomaly correlation survives partitioning. 0 or 1 builds the
+	// classic single network. A destination's route exists only in its
+	// own shard: cross-shard addresses are unroutable by construction.
+	Shards int
 	// DestsPerPod is the number of destinations attached to a regular
 	// stub pod; pods share their access path, so anomalies on it repeat
 	// across the pod's destinations. Rare-cause pods (NAT, zero-TTL,
@@ -141,10 +151,18 @@ func PaperScaleConfig() GenConfig {
 
 // Scenario is a generated measurement universe.
 type Scenario struct {
-	Net    *netsim.Network
+	// Net is the single simulated network, or shard 0 of a sharded
+	// scenario (which still answers probes toward its own pods only).
+	Net *netsim.Network
+	// Nets lists every shard network (length 1 when unsharded). The
+	// shards are fully independent: no router, host, or lock is shared.
+	Nets   []*netsim.Network
 	Source netip.Addr
 	Dests  []netip.Addr
-	AS     *asmap.Table
+	// ShardOf maps each destination to the index of the shard network
+	// that routes it. Nil when the scenario is unsharded.
+	ShardOf map[netip.Addr]int
+	AS      *asmap.Table
 
 	// RoundStart applies inter-round routing dynamics (flaps, transient
 	// forwarding loops). Call it before each measurement round.
@@ -152,6 +170,16 @@ type Scenario struct {
 
 	// Truth records the gadget ground truth for validation.
 	Truth Truth
+}
+
+// Transport returns a probe transport covering every destination: the plain
+// network transport when unsharded, or a sharded transport dispatching each
+// probe to its destination's shard without locking.
+func (sc *Scenario) Transport() tracer.Transport {
+	if len(sc.Nets) <= 1 {
+		return netsim.NewTransport(sc.Net)
+	}
+	return netsim.NewShardedTransport(sc.Nets, sc.ShardOf)
 }
 
 // Truth counts the anomaly gadgets the generator placed.
@@ -212,34 +240,79 @@ func Generate(cfg GenConfig) *Scenario {
 	if cfg.FlapPodDests <= 0 {
 		cfg.FlapPodDests = 3
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	b := NewBuilder(cfg.Seed ^ 0x5eed)
-	sc := &Scenario{Net: b.Net, Source: b.Source, AS: &asmap.Table{}}
+	pool := newAddrPool()
+	builders := make([]*Builder, shards)
+	for s := range builders {
+		// Shard 0 keeps the historical network seed so unsharded runs
+		// reproduce bit for bit; later shards get decorrelated
+		// per-exchange random streams.
+		netSeed := cfg.Seed ^ 0x5eed
+		if s > 0 {
+			netSeed ^= int64(s) * 0x9e3779b9
+		}
+		builders[s] = newPooledBuilder(netSeed, pool)
+	}
+	b0 := builders[0]
+	sc := &Scenario{Net: b0.Net, Source: b0.Source, AS: &asmap.Table{}}
+	for _, b := range builders {
+		sc.Nets = append(sc.Nets, b.Net)
+	}
+	if shards > 1 {
+		sc.ShardOf = make(map[netip.Addr]int, cfg.Destinations)
+	}
 
 	// AS registry: core is tier-1, transits regional, pods stubs.
 	sc.AS.RegisterAS(asmap.AS{Number: 1, Name: "core-t1", Tier: asmap.TierOne})
 	sc.AS.Add(netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, 0, 0}), 12), 1)
 
-	// Core chain shared by every destination.
-	core := b.Chain(b.Gateway, cfg.CoreLen)
-
-	// Transit layer.
-	transits := make([]*netsim.Router, cfg.Transits)
-	for i := range transits {
-		transits[i] = b.NewRouter(fmt.Sprintf("t%d", i))
-		b.Link(core[len(core)-1], transits[i])
-		asn := 10 + i
-		sc.AS.RegisterAS(asmap.AS{Number: asn, Name: fmt.Sprintf("transit-%d", i), Tier: asmap.TierRegional})
-		sc.AS.Add(netip.PrefixFrom(transits[i].Iface(0), 32), asn)
+	// Gateway/core/transit spine, replicated once per shard. Every
+	// replica is built from the same pool state, so interface addresses —
+	// and therefore measured routes — are identical regardless of the
+	// shard count; only shard 0 advances the shared pool for real.
+	type spine struct {
+		core     []*netsim.Router
+		transits []*netsim.Router
+	}
+	spines := make([]spine, shards)
+	spineStart := *pool
+	for s, b := range builders {
+		if s > 0 {
+			replay := spineStart
+			b.pool = &replay
+		}
+		core := b.Chain(b.Gateway, cfg.CoreLen)
+		transits := make([]*netsim.Router, cfg.Transits)
+		for i := range transits {
+			transits[i] = b.NewRouter(fmt.Sprintf("t%d", i))
+			b.Link(core[len(core)-1], transits[i])
+			if s == 0 {
+				asn := 10 + i
+				sc.AS.RegisterAS(asmap.AS{Number: asn, Name: fmt.Sprintf("transit-%d", i), Tier: asmap.TierRegional})
+				sc.AS.Add(netip.PrefixFrom(transits[i].Iface(0), 32), asn)
+			}
+		}
+		spines[s] = spine{core: core, transits: transits}
+		b.pool = pool
 	}
 
 	gen := &generator{
-		cfg: cfg, rng: rng, b: b, sc: sc,
+		cfg: cfg, rng: rng, sc: sc,
 		flipByDest: make(map[netip.Addr]*flipState),
 	}
 
 	destsLeft := cfg.Destinations
 	for p := 0; destsLeft > 0; p++ {
+		// Round-robin by pod, not by destination: a pod's gadgets stay
+		// together, so pod-level anomaly correlation survives sharding.
+		si := p % shards
+		b := builders[si]
+		core, transits := spines[si].core, spines[si].transits
 		transit := transits[rng.Intn(len(transits))]
 
 		kind := podRegular
@@ -279,13 +352,16 @@ func Generate(cfg GenConfig) *Scenario {
 		asn := 1000 + p
 		sc.AS.RegisterAS(asmap.AS{Number: asn, Name: fmt.Sprintf("stub-%d", p), Tier: asmap.TierStub})
 
-		tmpl := gen.buildPod(transit, kind, nDest)
+		tmpl := gen.buildPod(b, transit, kind, nDest)
 		sc.Truth.Pods++
 
 		// Attach destinations and install their routes.
 		for d := 0; d < nDest; d++ {
 			h := b.AttachHost(tmpl.leaf, "", tmpl.nat)
 			sc.Dests = append(sc.Dests, h.Addr)
+			if sc.ShardOf != nil {
+				sc.ShardOf[h.Addr] = si
+			}
 			sc.AS.Add(netip.PrefixFrom(h.Addr, 32), asn)
 			if tmpl.flip != nil {
 				gen.flipByDest[h.Addr] = tmpl.flip
@@ -300,7 +376,7 @@ func Generate(cfg GenConfig) *Scenario {
 			}
 		}
 	}
-	sc.Truth.Routers = b.routerSeq
+	sc.Truth.Routers = pool.routerSeq
 
 	// Inter-round dynamics.
 	flapRouters := gen.flapRouters
@@ -322,26 +398,31 @@ func Generate(cfg GenConfig) *Scenario {
 	// response to its probe with TTL 8 and the time that it emits the
 	// probe with TTL 9".
 	if flips := gen.flipByDest; len(flips) > 0 && cfg.FlipPerProbe > 0 {
-		flipRng := rand.New(rand.NewSource(cfg.Seed ^ 0xf11b))
-		var mu sync.Mutex
-		sc.Net.OnSend(func(count int, probe []byte) {
-			if len(probe) < 20 {
-				return
-			}
-			dst := netip.AddrFrom4([4]byte(probe[16:20]))
-			fs, ok := flips[dst]
-			if !ok {
-				return
-			}
-			// One mutex covers both the rng draw and the flip: probes
-			// now run concurrently, and flipState's bookkeeping (onA)
-			// is not safe to mutate from two hooks at once.
-			mu.Lock()
-			if flipRng.Float64() < cfg.FlipPerProbe {
-				fs.flip()
-			}
-			mu.Unlock()
-		})
+		// One hook (with its own rng and mutex) per shard network: a flip
+		// pod's destination is routable only in its own shard, so each
+		// flipState is reached by exactly one shard's hook.
+		for s, net := range sc.Nets {
+			flipRng := rand.New(rand.NewSource(cfg.Seed ^ 0xf11b ^ int64(s)<<20))
+			mu := new(sync.Mutex)
+			net.OnSend(func(count int, probe []byte) {
+				if len(probe) < 20 {
+					return
+				}
+				dst := netip.AddrFrom4([4]byte(probe[16:20]))
+				fs, ok := flips[dst]
+				if !ok {
+					return
+				}
+				// One mutex covers both the rng draw and the flip: probes
+				// now run concurrently, and flipState's bookkeeping (onA)
+				// is not safe to mutate from two hooks at once.
+				mu.Lock()
+				if flipRng.Float64() < cfg.FlipPerProbe {
+					fs.flip()
+				}
+				mu.Unlock()
+			})
+		}
 	}
 	return sc
 }
@@ -367,7 +448,6 @@ func installStep(s RouteStep, dest netip.Addr) {
 type generator struct {
 	cfg GenConfig
 	rng *rand.Rand
-	b   *Builder
 	sc  *Scenario
 
 	flapRouters []*netsim.Router
@@ -375,9 +455,10 @@ type generator struct {
 	flipByDest  map[netip.Addr]*flipState
 }
 
-// buildPod assembles one pod's routers and returns its route template.
-func (g *generator) buildPod(entry *netsim.Router, kind podKind, nDest int) routeTemplate {
-	cfg, rng, b := g.cfg, g.rng, g.b
+// buildPod assembles one pod's routers into b (the pod's shard) and returns
+// its route template.
+func (g *generator) buildPod(b *Builder, entry *netsim.Router, kind podKind, nDest int) routeTemplate {
+	cfg, rng := g.cfg, g.rng
 	var tmpl routeTemplate
 	cur := entry
 

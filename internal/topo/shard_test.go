@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/tracer"
+)
+
+func pickDest(sc *Scenario, shard int) (netip.Addr, bool) {
+	for _, d := range sc.Dests {
+		if sc.ShardOf[d] == shard {
+			return d, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// TestShardedGenerationStableDests: partitioning must not move a single
+// destination address — the shard count is an execution knob, not a
+// topology knob.
+func TestShardedGenerationStableDests(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Destinations = 120
+	one := Generate(cfg)
+	cfg.Shards = 4
+	four := Generate(cfg)
+
+	if len(one.Dests) != len(four.Dests) {
+		t.Fatalf("destination count differs: %d vs %d", len(one.Dests), len(four.Dests))
+	}
+	for i := range one.Dests {
+		if one.Dests[i] != four.Dests[i] {
+			t.Fatalf("dest %d differs: %v vs %v", i, one.Dests[i], four.Dests[i])
+		}
+	}
+	if one.Truth != four.Truth {
+		t.Fatalf("ground truth differs:\none:  %+v\nfour: %+v", one.Truth, four.Truth)
+	}
+	if len(four.Nets) != 4 {
+		t.Fatalf("got %d shard networks, want 4", len(four.Nets))
+	}
+	perShard := make([]int, 4)
+	for _, d := range four.Dests {
+		s, ok := four.ShardOf[d]
+		if !ok {
+			t.Fatalf("destination %v missing from shard map", d)
+		}
+		perShard[s]++
+	}
+	for s, n := range perShard {
+		if n == 0 {
+			t.Fatalf("shard %d received no destinations", s)
+		}
+	}
+}
+
+// TestShardedSpineReplicated: every shard must present the same
+// gateway/core entry addresses, so a measured route's head does not depend
+// on which shard the destination landed in.
+func TestShardedSpineReplicated(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Destinations = 60
+	cfg.Shards = 3
+	sc := Generate(cfg)
+	for s, n := range sc.Nets {
+		if src := n.Source(); src != sc.Source {
+			t.Fatalf("shard %d source %v, want %v", s, src, sc.Source)
+		}
+	}
+	tp := sc.Transport()
+	d0, ok0 := pickDest(sc, 0)
+	d1, ok1 := pickDest(sc, 1)
+	if !ok0 || !ok1 {
+		t.Fatal("shards 0 and 1 must both hold destinations")
+	}
+	rt0, err := tracer.NewParisUDP(tp, tracer.Options{MaxTTL: 39}).Trace(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1, err := tracer.NewParisUDP(tp, tracer.Options{MaxTTL: 39}).Trace(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt0.Hops) <= cfg.CoreLen || len(rt1.Hops) <= cfg.CoreLen {
+		t.Fatalf("traces too short to cover the spine: %d and %d hops", len(rt0.Hops), len(rt1.Hops))
+	}
+	// Gateway plus the core chain: identical interface addresses on every
+	// shard replica.
+	for i := 0; i < 1+cfg.CoreLen; i++ {
+		if rt0.Hops[i].Addr != rt1.Hops[i].Addr {
+			t.Fatalf("spine hop %d differs across shards: %v vs %v", i, rt0.Hops[i].Addr, rt1.Hops[i].Addr)
+		}
+	}
+}
+
+// TestCrossShardUnroutable pins the shard-ownership contract from the
+// netsim package doc: a destination's address is unroutable in any shard
+// but its own.
+func TestCrossShardUnroutable(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Destinations = 60
+	cfg.Shards = 3
+	sc := Generate(cfg)
+	dest, ok := pickDest(sc, 1)
+	if !ok {
+		t.Fatal("no destination in shard 1")
+	}
+
+	// Through the sharded transport the destination is reached...
+	rt, err := tracer.NewParisUDP(sc.Transport(), tracer.Options{MaxTTL: 39}).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Reached() {
+		t.Fatalf("shard-1 destination %v not reached through the sharded transport (halt %v)", dest, rt.Halt)
+	}
+
+	// ...but probing it into shard 0's network directly must fail.
+	rt, err = tracer.NewParisUDP(netsim.NewTransport(sc.Nets[0]), tracer.Options{MaxTTL: 39}).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reached() {
+		t.Fatalf("shard-1 destination %v reachable inside shard 0: shard ownership violated", dest)
+	}
+}
