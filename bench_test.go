@@ -193,24 +193,67 @@ func campaignStats(b *testing.B) *measure.Stats {
 
 // BenchmarkCampaignRound times one full measurement round (paired classic
 // and Paris traces to every destination with 32 workers), the unit the
-// paper repeats 556 times.
+// paper repeats 556 times, in the as-shipped configuration: batched TTL
+// ladders (Batch on, the cmd binaries' default). The campaign object is
+// constructed once and one warm-up round runs before the timer, so the
+// measurement reflects the steady state a 556-round study spends its time
+// in — per-destination path hints warmed, per-worker scratch buffers grown.
 func BenchmarkCampaignRound(b *testing.B) {
 	cfg := topo.DefaultGenConfig()
 	cfg.Destinations = 500
 	sc := topo.Generate(cfg)
 	tp := netsim.NewTransport(sc.Net)
+	camp, err := measure.NewCampaign(tp, measure.Config{
+		Dests: sc.Dests, Rounds: 1, Workers: 32,
+		RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
+		Batch: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := camp.Run(); err != nil { // warm hints and scratch
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		camp, err := measure.NewCampaign(tp, measure.Config{
-			Dests: sc.Dests, Rounds: 1, Workers: 32,
-			RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
 		if _, err := camp.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignRoundBatched is the batching A/B: the same steady-state
+// round with the batched ladder off (the PR 2 sequential path) and on,
+// across shard counts. BENCH_3.json records a full run; the off rows are
+// the apples-to-apples baseline for the on rows.
+func BenchmarkCampaignRoundBatched(b *testing.B) {
+	for _, batch := range []bool{false, true} {
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("batch=%v/shards=%d", batch, shards), func(b *testing.B) {
+				cfg := topo.DefaultGenConfig()
+				cfg.Destinations = 500
+				cfg.Shards = shards
+				sc := topo.Generate(cfg)
+				camp, err := measure.NewCampaign(sc.Transport(), measure.Config{
+					Dests: sc.Dests, Rounds: 1, Workers: 32,
+					RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
+					ShardOf: sc.ShardOf, Batch: batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := camp.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := camp.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -6,15 +6,18 @@
 //
 // Usage:
 //
-//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-seed N] [-paper]
+//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-seed N] [-paper]
 //
 // -paper selects the full-scale configuration (5,000 destinations; pair it
 // with -rounds 556 for the complete study — expect minutes of runtime).
 // -shards partitions the topology across N independent simulated networks
-// probed by shard-affine workers. Each destination's anomaly behaviour is
-// determined by its own pod's gadgets, so the shard count changes the
-// scaling behaviour, not the Section 4 statistics (bit-identical on
-// schedule-free topologies, equal in distribution otherwise).
+// probed by shard-affine workers. -batch (default on) submits each trace's
+// TTL ladder through the batched exchange path, amortizing per-probe
+// overhead; -batch=false selects the sequential per-probe loop. Each
+// destination's anomaly behaviour is determined by its own pod's gadgets,
+// so neither the shard count nor batching changes the Section 4 statistics
+// (bit-identical on schedule-free topologies, equal in distribution
+// otherwise) — only the scaling behaviour.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	rounds := flag.Int("rounds", 25, "number of measurement rounds")
 	workers := flag.Int("workers", 32, "parallel probing workers")
 	shards := flag.Int("shards", 1, "independent network shards the topology is partitioned across")
+	batch := flag.Bool("batch", true, "submit each trace's TTL ladder as batched exchanges")
 	seed := flag.Int64("seed", 42, "topology and dynamics seed")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (5,000 destinations)")
 	truth := flag.Bool("truth", false, "print generator ground truth")
@@ -58,6 +62,7 @@ func main() {
 		RoundStart: sc.RoundStart,
 		PortSeed:   *seed,
 		ShardOf:    sc.ShardOf,
+		Batch:      *batch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-seed N]
+//	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-batch] [-seed N]
 //
 // Scenarios: fig1, fig3, fig4, fig5, fig6, random. With -shards N > 1 the
 // random scenario is partitioned across N independent simulated networks
-// and the trace runs through the sharded dispatch path.
+// and the trace runs through the sharded dispatch path. -batch submits the
+// TTL ladder through the batched exchange path instead of one exchange per
+// probe; the measured route is identical either way.
 // Methods: paris-udp, paris-icmp, paris-tcp, classic-udp, classic-icmp,
 // tcptraceroute.
 //
@@ -35,6 +37,7 @@ func main() {
 	method := flag.String("method", "paris-udp", "probing method")
 	flows := flag.Int("flows", 1, "number of flows (>1 enables multipath enumeration)")
 	shards := flag.Int("shards", 1, "network shards for the random scenario")
+	batch := flag.Bool("batch", false, "submit the TTL ladder as batched exchanges")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -49,7 +52,7 @@ func main() {
 		return
 	}
 
-	tr, err := buildTracer(*method, tp)
+	tr, err := buildTracer(*method, tp, *batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 		os.Exit(2)
@@ -148,8 +151,8 @@ func buildScenario(name string, seed int64, shards int) (tracer.Transport, netip
 	}
 }
 
-func buildTracer(method string, tp tracer.Transport) (tracer.Tracer, error) {
-	opts := tracer.Options{}
+func buildTracer(method string, tp tracer.Transport, batch bool) (tracer.Tracer, error) {
+	opts := tracer.Options{Batch: batch}
 	switch method {
 	case "paris-udp":
 		return tracer.NewParisUDP(tp, opts), nil

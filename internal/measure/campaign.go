@@ -44,6 +44,16 @@ type Config struct {
 	// are never shared across a worker's round. Nil keeps the paper's
 	// contiguous 1/Workers slicing.
 	ShardOf map[netip.Addr]int
+	// Batch routes every trace through the transport's batched TTL
+	// ladder (tracer.BatchTransport) when it offers one; each worker
+	// carries one reusable tracer.Scratch across all its destinations,
+	// and each destination feeds its previous round's path length back
+	// as the next round's window hint. Transports without batching fall
+	// back to the sequential loop. Off by default.
+	Batch bool
+	// BatchWindow overrides the TTL-window per batch (0: tracer
+	// default). Ignored unless Batch is set.
+	BatchWindow int
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -94,6 +104,16 @@ type Campaign struct {
 	// plan[w] lists the destination indices worker w probes each round;
 	// computed once at construction (shard-affine when ShardOf is set).
 	plan [][]int
+	// scratch[w] is worker w's reusable batch buffer set: the plan is
+	// fixed, so a destination index is only ever probed by one worker
+	// and the scratch never crosses goroutines.
+	scratch []*tracer.Scratch
+	// parisHint and clasHint record each destination's previous ladder
+	// length per discipline; the next round sizes its first batch window
+	// from them, so a stable route is probed in exactly one batch with
+	// no overshoot. Indexed by destination; each slot is owned by the
+	// single worker whose plan covers it.
+	parisHint, clasHint []int
 }
 
 // NewCampaign creates a campaign; cfg.Dests must be non-empty.
@@ -102,11 +122,22 @@ func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
 	if len(cfg.Dests) == 0 {
 		return nil, fmt.Errorf("measure: empty destination list")
 	}
-	return &Campaign{cfg: cfg, tp: tp, base: tracer.Options{
+	c := &Campaign{cfg: cfg, tp: tp, base: tracer.Options{
 		MinTTL:              cfg.MinTTL,
 		MaxTTL:              cfg.MaxTTL,
 		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
-	}, plan: workerPlan(cfg)}, nil
+	}, plan: workerPlan(cfg)}
+	if cfg.Batch {
+		c.base.Batch = true
+		c.base.BatchWindow = cfg.BatchWindow
+		c.scratch = make([]*tracer.Scratch, cfg.Workers)
+		for w := range c.scratch {
+			c.scratch[w] = tracer.NewScratch()
+		}
+		c.parisHint = make([]int, len(cfg.Dests))
+		c.clasHint = make([]int, len(cfg.Dests))
+	}
+	return c, nil
 }
 
 // workerPlan partitions the destination indices among the workers. Without
@@ -219,7 +250,7 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 			continue
 		}
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(w int, idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
 				select {
@@ -227,7 +258,7 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 					return
 				default:
 				}
-				p, err := c.measureOne(round, dests[i])
+				p, err := c.measureOne(w, round, i, dests[i])
 				if err != nil {
 					stopOnce.Do(func() {
 						firstErr = err
@@ -237,7 +268,7 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 				}
 				out[i] = p
 			}
-		}(c.plan[w])
+		}(w, c.plan[w])
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -246,13 +277,20 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 	return out, nil
 }
 
-// measureOne performs the paper's two steps for destination d: a Paris
-// traceroute with an unchanging five-tuple, then a classic traceroute with
-// the same timing parameters.
-func (c *Campaign) measureOne(round int, d netip.Addr) (Pair, error) {
+// measureOne performs the paper's two steps for destination d (the idx-th
+// entry of the list, probed by worker w): a Paris traceroute with an
+// unchanging five-tuple, then a classic traceroute with the same timing
+// parameters. In batch mode both traces reuse worker w's scratch buffers
+// and seed their first window from the destination's previous ladder
+// length.
+func (c *Campaign) measureOne(w, round, idx int, d netip.Addr) (Pair, error) {
 	parisOpts := c.base
 	parisOpts.SrcPort = portFor(c.cfg.PortSeed, d, 0x517e)
 	parisOpts.DstPort = portFor(c.cfg.PortSeed, d, 0xd057)
+	if c.cfg.Batch {
+		parisOpts.Scratch = c.scratch[w]
+		parisOpts.PathHint = c.parisHint[idx]
+	}
 	paris := tracer.NewParisUDP(c.tp, parisOpts)
 	pr, err := paris.Trace(d)
 	if err != nil {
@@ -265,11 +303,19 @@ func (c *Campaign) measureOne(round int, d netip.Addr) (Pair, error) {
 	// pseudo-PID.
 	classicOpts := c.base
 	classicOpts.SrcPort = 32768 + uint16(portFor(c.cfg.PortSeed, d, uint64(round)*0x9e37+0xc1a5)%30000)
+	if c.cfg.Batch {
+		classicOpts.Scratch = c.scratch[w]
+		classicOpts.PathHint = c.clasHint[idx]
+	}
 	classic := tracer.NewClassicUDP(c.tp, classicOpts)
 	cr, err := classic.Trace(d)
 	if err != nil {
 		return Pair{}, fmt.Errorf("measure: classic trace to %v: %w", d, err)
 	}
 
+	if c.cfg.Batch {
+		c.parisHint[idx] = len(pr.Hops)
+		c.clasHint[idx] = len(cr.Hops)
+	}
 	return Pair{Dest: d, Round: round, Paris: pr, Classic: cr}, nil
 }

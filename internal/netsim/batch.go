@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// ExchangeResult is the outcome of one probe/response exchange within an
+// ExchangeBatch call. Resp is written with append-truncate into whatever
+// storage the caller left in the field, so a caller that reuses one result
+// slice across batches pays for each response buffer exactly once.
+type ExchangeResult struct {
+	// Resp is the serialized response packet (empty when OK is false).
+	// The buffer is owned by the caller and recycled in place.
+	Resp []byte
+	// Steps is the number of node traversals, the latency proxy Exchange
+	// reports.
+	Steps int
+	// OK is false when no response made it back to the source (a star).
+	OK bool
+}
+
+// arena is the bump allocator serving one batch's transient packet buffers:
+// the mutable probe copy and every ICMP error, echo reply, or TCP reset a
+// router or host originates while that probe is in flight. take never moves
+// previously returned buffers (overflow opens a fresh chunk, and the old one
+// stays alive through the slices already handed out), so packets built early
+// in an exchange stay valid while later ones are carved.
+type arena struct {
+	cur []byte
+	off int
+}
+
+// arenaChunk comfortably holds every buffer one exchange needs (a probe copy
+// plus a handful of ≤ ~60-byte response packets).
+const arenaChunk = 4 << 10
+
+func (a *arena) take(n int) []byte {
+	if a.off+n > len(a.cur) {
+		size := 2 * len(a.cur)
+		if size < arenaChunk {
+			size = arenaChunk
+		}
+		if size < n {
+			size = n
+		}
+		a.cur = make([]byte, size)
+		a.off = 0
+	}
+	b := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+func (a *arena) copyOf(p []byte) []byte {
+	b := a.take(len(p))
+	copy(b, p)
+	return b
+}
+
+// rewind reclaims the current chunk. Only legal once nothing reachable
+// aliases it — ExchangeBatch rewinds after copying each exchange's final
+// response out into the caller's buffer.
+func (a *arena) rewind() { a.off = 0 }
+
+// exchCtx carries the per-exchange state the forwarding walk threads through
+// its helpers: the probe's private RNG stream and, on the batch path, the
+// arena and the per-batch memos. The zero value (heap-allocated responses,
+// no memos) is the sequential Exchange configuration.
+type exchCtx struct {
+	rng prng
+	// arena serves response marshal buffers; nil falls back to the heap.
+	arena *arena
+	// cfgs memoizes each router's behavioural snapshot for the duration
+	// of one batch, so a TTL ladder revisiting the same routers loads each
+	// config once instead of once per visit. nil loads per visit. Only
+	// installed when the network has no OnSend hooks: hooks are the one
+	// sanctioned way to mutate configuration mid-batch, and per-visit
+	// loads are what keeps that byte-identical to sequential Exchanges.
+	cfgs map[*Router]*routerConfig
+	// routes memoizes forwarding-table lookups per (router, destination)
+	// for the duration of one batch, under the same hook gating as cfgs.
+	routes map[routeKey]routeEntry
+}
+
+type routeKey struct {
+	r   *Router
+	dst netip.Addr
+}
+
+type routeEntry struct {
+	rt *Route
+	ok bool
+}
+
+// respBuf returns an arena buffer for a response packet of the given size,
+// or nil to let the packet marshaller allocate.
+func (c *exchCtx) respBuf(n int) []byte {
+	if c.arena == nil {
+		return nil
+	}
+	return c.arena.take(n)
+}
+
+func (c *exchCtx) cfgOf(r *Router) *routerConfig {
+	if c.cfgs == nil {
+		return r.config.Load()
+	}
+	cfg, ok := c.cfgs[r]
+	if !ok {
+		cfg = r.config.Load()
+		c.cfgs[r] = cfg
+	}
+	return cfg
+}
+
+func (c *exchCtx) lookup(r *Router, dst netip.Addr) (*Route, bool) {
+	if c.routes == nil {
+		return r.lookup(dst)
+	}
+	k := routeKey{r, dst}
+	e, ok := c.routes[k]
+	if !ok {
+		e.rt, e.ok = r.lookup(dst)
+		c.routes[k] = e
+	}
+	return e.rt, e.ok
+}
+
+// batchState is the pooled per-ExchangeBatch scratch: the arena and the memo
+// maps, recycled across batches through Network.batchPool.
+type batchState struct {
+	arena  arena
+	cfgs   map[*Router]*routerConfig
+	routes map[routeKey]routeEntry
+	ctx    exchCtx
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchState) }}
+
+// ExchangeBatch performs len(probes) probe/response exchanges as one unit of
+// work, writing the i-th outcome into out[i]; out must be at least as long
+// as probes. It is the amortized equivalent of calling Exchange once per
+// probe — and deterministically equal to it: the batch reserves one
+// contiguous block of the network's probe counter, so probe i derives
+// exactly the RNG stream (and OnSend hook count) it would have drawn as the
+// corresponding sequential Exchange.
+//
+// The topology read lock is held across the whole batch, per-router config
+// snapshots and forwarding-table lookups are memoized per batch (unless
+// OnSend hooks are registered, which may mutate them mid-batch), and probe
+// copies plus originated responses are carved from a pooled arena instead of
+// the heap. See the package comment's batch contract for the full
+// determinism and ownership rules.
+//
+// ExchangeBatch is safe for concurrent use alongside Exchange and other
+// batches.
+func (n *Network) ExchangeBatch(probes [][]byte, out []ExchangeResult) {
+	if len(out) < len(probes) {
+		panic("netsim: ExchangeBatch result slice shorter than probe slice")
+	}
+	if len(probes) == 0 {
+		return
+	}
+	nn := int64(len(probes))
+	base := n.probeCount.Add(nn) - nn
+
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
+	if !n.haveEntry {
+		panic("netsim: SetSource not called")
+	}
+	hooks := n.onSend
+
+	st := batchPool.Get().(*batchState)
+	defer batchPool.Put(st)
+	st.arena.rewind()
+	st.ctx = exchCtx{arena: &st.arena}
+	if len(hooks) == 0 {
+		if st.cfgs == nil {
+			st.cfgs = make(map[*Router]*routerConfig, 32)
+			st.routes = make(map[routeKey]routeEntry, 64)
+		} else {
+			clear(st.cfgs)
+			clear(st.routes)
+		}
+		st.ctx.cfgs, st.ctx.routes = st.cfgs, st.routes
+	}
+
+	for i, probe := range probes {
+		count := base + int64(i) + 1
+		// Hooks run under the topology read lock here (sequential
+		// Exchange releases it first): they may mutate router config
+		// and forwarding tables, but must not register topology.
+		for _, f := range hooks {
+			f(int(count), probe)
+		}
+		st.ctx.rng = prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}
+		pkt := st.arena.copyOf(probe)
+		resp, steps, ok := n.run(&st.ctx, pkt, n.sourceGW, false)
+		out[i].Steps, out[i].OK = steps, ok
+		if ok {
+			out[i].Resp = append(out[i].Resp[:0], resp...)
+		} else if out[i].Resp != nil {
+			out[i].Resp = out[i].Resp[:0]
+		}
+		// Everything this exchange carved from the arena is dead now
+		// that the response is copied out; reuse the space.
+		st.arena.rewind()
+	}
+}

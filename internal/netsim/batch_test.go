@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// batchTestNet is testNet plus randomized behaviour (a probabilistic drop
+// fault on r2), so the equality tests below cover the per-probe RNG seeding:
+// batch probe i must draw exactly the stream sequential Exchange i draws,
+// which only holds if the contiguous counter-block reservation is correct.
+func batchTestNet(t *testing.T) (*Network, []*Router, *Host) {
+	n, rs, h := testNet(t)
+	rs[2].SetFaults(Faults{DropProbability: 0.3})
+	return n, rs, h
+}
+
+// ladderProbes builds a TTL ladder of UDP probes toward the host.
+func ladderProbes(t *testing.T, n *Network, dst netip.Addr, maxTTL int) [][]byte {
+	t.Helper()
+	probes := make([][]byte, 0, maxTTL)
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		probes = append(probes, udpProbe(t, n, dst, uint8(ttl), 10007, 20011))
+	}
+	return probes
+}
+
+// TestExchangeBatchMatchesSequential drives two identical networks — one
+// probe by probe through Exchange, the other through a single ExchangeBatch
+// — and requires byte-identical responses, steps, and ok flags, including
+// the RNG-driven drops.
+func TestExchangeBatchMatchesSequential(t *testing.T) {
+	seqNet, _, host := batchTestNet(t)
+	batNet, _, _ := batchTestNet(t)
+	probes := ladderProbes(t, seqNet, host.Addr, 8)
+
+	out := make([]ExchangeResult, len(probes))
+	batNet.ExchangeBatch(probes, out)
+
+	sawDrop := false
+	for i, p := range probes {
+		resp, steps, ok := seqNet.Exchange(p)
+		if ok != out[i].OK || steps != out[i].Steps {
+			t.Errorf("probe %d: batch (ok=%v steps=%d) vs sequential (ok=%v steps=%d)",
+				i, out[i].OK, out[i].Steps, ok, steps)
+		}
+		if ok && !bytes.Equal(resp, out[i].Resp) {
+			t.Errorf("probe %d: batch response differs from sequential\nbatch: %x\nseq:   %x",
+				i, out[i].Resp, resp)
+		}
+		if !ok {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatal("no probe was dropped; the RNG-equality check is degenerate")
+	}
+	if got, want := batNet.ProbeCount(), seqNet.ProbeCount(); got != want {
+		t.Errorf("batch network counted %d probes, sequential %d", got, want)
+	}
+}
+
+// TestExchangeBatchHookInterleaving registers an OnSend hook that flips a
+// router's Silent fault at one specific probe count, and checks the batch
+// applies it between probes exactly as the sequential path does (hook i runs
+// before probe i forwards, and per-visit config loads see the flip).
+func TestExchangeBatchHookInterleaving(t *testing.T) {
+	const flipAt = 4
+	arm := func(n *Network, rs []*Router) {
+		n.OnSend(func(count int, probe []byte) {
+			if count == flipAt {
+				rs[1].SetFaults(Faults{Silent: true})
+			}
+		})
+	}
+	seqNet, seqRs, host := testNet(t)
+	arm(seqNet, seqRs)
+	batNet, batRs, _ := testNet(t)
+	arm(batNet, batRs)
+
+	// TTL 2 expires at r1 (rs[1]): probes from flipAt on get no answer.
+	probes := make([][]byte, 8)
+	for i := range probes {
+		probes[i] = udpProbe(t, seqNet, host.Addr, 2, 10007, 20011)
+	}
+	out := make([]ExchangeResult, len(probes))
+	batNet.ExchangeBatch(probes, out)
+	for i, p := range probes {
+		resp, steps, ok := seqNet.Exchange(p)
+		if ok != out[i].OK || steps != out[i].Steps || !bytes.Equal(resp, out[i].Resp) {
+			t.Errorf("probe %d: batch diverged from sequential across the hook flip (ok %v vs %v)",
+				i, out[i].OK, ok)
+		}
+		if wantOK := i+1 < flipAt; ok != wantOK {
+			t.Errorf("probe %d: ok=%v, want %v (flip at count %d)", i, ok, wantOK, flipAt)
+		}
+	}
+}
+
+// TestExchangeBatchReusesResultBuffers checks the ownership contract: a
+// second batch through the same result slice refills the same backing
+// arrays, and the results are again correct.
+func TestExchangeBatchReusesResultBuffers(t *testing.T) {
+	n, _, host := testNet(t)
+	probes := ladderProbes(t, n, host.Addr, 5)
+	out := make([]ExchangeResult, len(probes))
+	n.ExchangeBatch(probes, out)
+
+	first := make([][]byte, len(out))
+	caps := make([]int, len(out))
+	for i := range out {
+		first[i] = append([]byte(nil), out[i].Resp...)
+		caps[i] = cap(out[i].Resp)
+	}
+	n.ExchangeBatch(probes, out)
+	for i := range out {
+		if !out[i].OK {
+			t.Fatalf("probe %d: second batch got no response", i)
+		}
+		// Deterministic topology, but the responding boxes advance their
+		// IP ID counters between batches: everything but the IP ID and
+		// its checksum must match, and the buffer must be recycled.
+		if len(out[i].Resp) != len(first[i]) {
+			t.Errorf("probe %d: second batch response length %d, first %d", i, len(out[i].Resp), len(first[i]))
+		}
+		if cap(out[i].Resp) != caps[i] {
+			t.Errorf("probe %d: response buffer reallocated (cap %d -> %d)", i, caps[i], cap(out[i].Resp))
+		}
+	}
+}

@@ -55,8 +55,9 @@ func (h *Host) nextIPID() uint16 {
 
 // respond builds the host's response to the delivered packet (already
 // parsed into ih/payload by the forwarding engine), or returns nil if the
-// host stays silent.
-func (h *Host) respond(ih *packet.IPv4, payload, pkt []byte) []byte {
+// host stays silent. Response buffers come from ctx's arena when one is
+// installed (the batch path) and from the heap otherwise.
+func (h *Host) respond(ctx *exchCtx, ih *packet.IPv4, payload, pkt []byte) []byte {
 	if h.Silent {
 		return nil
 	}
@@ -67,22 +68,22 @@ func (h *Host) respond(ih *packet.IPv4, payload, pkt []byte) []byte {
 			Code:    packet.CodePortUnreachable,
 			Payload: quoteOf(pkt, ih, payload),
 		}
-		return h.marshalICMP(&m, ih.Src)
+		return h.marshalICMP(ctx, &m, ih.Src)
 	case packet.ProtoICMP:
-		m, err := packet.ParseICMP(payload)
-		if err != nil || m.Type != packet.ICMPTypeEchoRequest {
+		var m packet.ICMP
+		if err := packet.ParseICMPInto(payload, &m); err != nil || m.Type != packet.ICMPTypeEchoRequest {
 			return nil
 		}
 		reply := packet.ICMP{
 			Type:    packet.ICMPTypeEchoReply,
 			ID:      m.ID,
 			Seq:     m.Seq,
-			Payload: m.Payload, // copied out by MarshalIPv4ICMP
+			Payload: m.Payload, // copied out by MarshalIPv4ICMPInto
 		}
-		return h.marshalICMP(&reply, ih.Src)
+		return h.marshalICMP(ctx, &reply, ih.Src)
 	case packet.ProtoTCP:
-		th, _, _, err := packet.ParseTCP(payload)
-		if err != nil || th == nil {
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(payload, &th); err != nil {
 			return nil
 		}
 		flags := uint8(packet.TCPRst | packet.TCPAck)
@@ -99,13 +100,14 @@ func (h *Host) respond(ih *packet.IPv4, payload, pkt []byte) []byte {
 		if err != nil {
 			return nil
 		}
-		out, err := (&packet.IPv4{
+		ip := packet.IPv4{
 			TTL:      h.ttl(),
 			Protocol: packet.ProtoTCP,
 			ID:       h.nextIPID(),
 			Src:      h.Addr,
 			Dst:      ih.Src,
-		}).Marshal(seg)
+		}
+		out, err := ip.MarshalInto(ctx.respBuf(ip.HeaderLen()+len(seg)), seg)
 		if err != nil {
 			return nil
 		}
@@ -119,14 +121,15 @@ func (h *Host) ttl() uint8 {
 	return uint8(h.icmpTTL.Load())
 }
 
-func (h *Host) marshalICMP(m *packet.ICMP, dst netip.Addr) []byte {
-	out, err := packet.MarshalIPv4ICMP(&packet.IPv4{
+func (h *Host) marshalICMP(ctx *exchCtx, m *packet.ICMP, dst netip.Addr) []byte {
+	ip := packet.IPv4{
 		TTL:      h.ttl(),
 		Protocol: packet.ProtoICMP,
 		ID:       h.nextIPID(),
 		Src:      h.Addr,
 		Dst:      dst,
-	}, m)
+	}
+	out, err := packet.MarshalIPv4ICMPInto(ctx.respBuf(packet.IPv4ICMPLen(&ip, m)), &ip, m)
 	if err != nil {
 		return nil
 	}

@@ -35,9 +35,11 @@ type Network struct {
 	// with each other.
 	topoMu sync.RWMutex
 
-	routers     map[netip.Addr]*Router // every iface addr -> its router
-	hosts       map[netip.Addr]*Host
-	hostGateway map[netip.Addr]netip.Addr // host addr -> attachment iface
+	// nodes is the unified topology registry, keyed by the 4-byte IPv4
+	// address: the forwarding walk resolves "what sits at this interface"
+	// with a single cheap-hash map access per step instead of separate
+	// netip.Addr-keyed router and host lookups.
+	nodes map[uint32]netNode
 
 	source    netip.Addr // the measurement source address
 	sourceGW  netip.Addr // interface the source's packets enter through
@@ -62,13 +64,40 @@ type Network struct {
 // (per-packet balancing, probabilistic drops), keeping runs reproducible.
 func New(seed int64) *Network {
 	return &Network{
-		routers:         make(map[netip.Addr]*Router),
-		hosts:           make(map[netip.Addr]*Host),
-		hostGateway:     make(map[netip.Addr]netip.Addr),
+		nodes:           make(map[uint32]netNode),
 		seed:            uint64(seed),
 		RandomPerPacket: true,
 		maxSteps:        DefaultMaxSteps,
 	}
+}
+
+// netNode is one registry entry: the router or host answering at an
+// interface address (exactly one is non-nil), plus, for hosts, the gateway
+// interface their responses enter the network through.
+type netNode struct {
+	router *Router
+	host   *Host
+	hostGW netip.Addr
+}
+
+// a4 maps an address to its registry key. ok is false for anything but a
+// plain IPv4 address, which can never be registered.
+func a4(a netip.Addr) (uint32, bool) {
+	if !a.Is4() {
+		return 0, false
+	}
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), true
+}
+
+// mustA4 is a4 for registration paths, where a non-IPv4 address is a
+// topology bug.
+func mustA4(a netip.Addr) uint32 {
+	k, ok := a4(a)
+	if !ok {
+		panic(fmt.Sprintf("netsim: %v is not an IPv4 address", a))
+	}
+	return k
 }
 
 // AddRouter registers a router; each of its interface addresses becomes
@@ -77,15 +106,22 @@ func (n *Network) AddRouter(r *Router) *Router {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
 	for _, a := range r.ifaces {
-		if prev, ok := n.routers[a]; ok && prev != r {
-			panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
-		}
-		if _, ok := n.hosts[a]; ok {
-			panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
-		}
-		n.routers[a] = r
+		n.registerIfaceLocked(r, a)
 	}
 	return r
+}
+
+func (n *Network) registerIfaceLocked(r *Router, a netip.Addr) {
+	k := mustA4(a)
+	if nd, ok := n.nodes[k]; ok {
+		if nd.host != nil {
+			panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
+		}
+		if nd.router != r {
+			panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, nd.router.Name))
+		}
+	}
+	n.nodes[k] = netNode{router: r}
 }
 
 // AddIface allocates a new interface on r with address a, registering it in
@@ -94,13 +130,7 @@ func (n *Network) AddRouter(r *Router) *Router {
 func (n *Network) AddIface(r *Router, a netip.Addr) int {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
-	if prev, ok := n.routers[a]; ok && prev != r {
-		panic(fmt.Sprintf("netsim: interface %v already owned by router %s", a, prev.Name))
-	}
-	if _, ok := n.hosts[a]; ok {
-		panic(fmt.Sprintf("netsim: interface %v already owned by a host", a))
-	}
-	n.routers[a] = r
+	n.registerIfaceLocked(r, a)
 	r.ifaces = append(r.ifaces, a)
 	return len(r.ifaces) - 1
 }
@@ -110,11 +140,11 @@ func (n *Network) AddIface(r *Router, a netip.Addr) int {
 func (n *Network) AttachHost(h *Host, gateway netip.Addr) *Host {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
-	if _, ok := n.routers[h.Addr]; ok {
+	k := mustA4(h.Addr)
+	if nd, ok := n.nodes[k]; ok && nd.router != nil {
 		panic(fmt.Sprintf("netsim: host address %v already owned by a router", h.Addr))
 	}
-	n.hosts[h.Addr] = h
-	n.hostGateway[h.Addr] = gateway
+	n.nodes[k] = netNode{host: h, hostGW: gateway}
 	return h
 }
 
@@ -139,16 +169,24 @@ func (n *Network) Source() netip.Addr {
 func (n *Network) RouterAt(a netip.Addr) (*Router, bool) {
 	n.topoMu.RLock()
 	defer n.topoMu.RUnlock()
-	r, ok := n.routers[a]
-	return r, ok
+	k, ok := a4(a)
+	if !ok {
+		return nil, false
+	}
+	nd, ok := n.nodes[k]
+	return nd.router, ok && nd.router != nil
 }
 
 // HostAt returns the host owning the given address.
 func (n *Network) HostAt(a netip.Addr) (*Host, bool) {
 	n.topoMu.RLock()
 	defer n.topoMu.RUnlock()
-	h, ok := n.hosts[a]
-	return h, ok
+	k, ok := a4(a)
+	if !ok {
+		return nil, false
+	}
+	nd, ok := n.nodes[k]
+	return nd.host, ok && nd.host != nil
 }
 
 // OnSend registers a hook invoked (outside any network lock) with the
@@ -216,20 +254,22 @@ func (n *Network) Exchange(probe []byte) (resp []byte, steps int, ok bool) {
 		f(int(count), probe)
 	}
 
-	rng := prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}
+	ctx := exchCtx{rng: prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}}
 	// Copy: forwarding mutates TTL/checksum/src in place.
 	pkt := append([]byte(nil), probe...)
 	n.topoMu.RLock()
 	defer n.topoMu.RUnlock()
-	return n.run(&rng, pkt, n.sourceGW, false)
+	return n.run(&ctx, pkt, n.sourceGW, false)
 }
 
 // run is the forwarding engine. pkt is located at interface `at`
 // (or originates at the router owning `at` when originated is true).
 // Must be called with n.topoMu read-held. The IPv4 header is parsed once
 // per packet version (injection, host response, originated ICMP) and
-// threaded through the walk instead of being re-parsed at every hop.
-func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (resp []byte, steps int, ok bool) {
+// threaded through the walk instead of being re-parsed at every hop. ctx
+// carries the probe's RNG stream and, on the batch path, the arena and the
+// per-batch config/route memos.
+func (n *Network) run(ctx *exchCtx, pkt []byte, at netip.Addr, originated bool) (resp []byte, steps int, ok bool) {
 	var hdr packet.IPv4
 	payload, err := packet.ParseIPv4Into(pkt, &hdr)
 	if err != nil {
@@ -241,32 +281,38 @@ func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (re
 			return pkt, steps, true
 		}
 
+		k, v4 := a4(at)
+		if !v4 {
+			return nil, steps, false // non-IPv4 adjacency
+		}
+		nd := n.nodes[k]
+
 		// Delivery to a host.
-		if h, isHost := n.hosts[at]; isHost {
+		if h := nd.host; h != nil {
 			if hdr.Dst != h.Addr {
 				return nil, steps, false // mis-delivered; drop
 			}
-			r := h.respond(&hdr, payload, pkt)
+			r := h.respond(ctx, &hdr, payload, pkt)
 			if r == nil {
 				return nil, steps, false
 			}
-			pkt, at, originated = r, n.hostGateway[h.Addr], false
+			pkt, at, originated = r, nd.hostGW, false
 			if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
 				return nil, steps, false
 			}
 			continue
 		}
 
-		r, isRouter := n.routers[at]
-		if !isRouter {
+		r := nd.router
+		if r == nil {
 			return nil, steps, false // dangling adjacency
 		}
-		cfg := r.config.Load()
+		cfg := ctx.cfgOf(r)
 
 		// Packet addressed to one of the router's own interfaces: the
 		// router behaves like a host (intermediate hops are pingable).
 		if !originated && r.ownsAddr(hdr.Dst) {
-			reply := routerRespondLocal(r, cfg, hdr.Dst, &hdr, payload, pkt)
+			reply := routerRespondLocal(ctx, r, cfg, hdr.Dst, &hdr, payload, pkt)
 			if reply == nil {
 				return nil, steps, false
 			}
@@ -278,7 +324,7 @@ func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (re
 		}
 
 		if !originated {
-			done, reply := routerTTLCheck(r, cfg, at, pkt, &hdr, payload)
+			done, reply := routerTTLCheck(ctx, r, cfg, at, pkt, &hdr, payload)
 			if done {
 				if reply == nil {
 					return nil, steps, false
@@ -292,7 +338,7 @@ func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (re
 		}
 
 		// Forwarding decision.
-		next, reply, dropped := n.routerForward(rng, r, cfg, at, pkt, &hdr, payload, originated)
+		next, reply, dropped := n.routerForward(ctx, r, cfg, at, pkt, &hdr, payload, originated)
 		if dropped {
 			return nil, steps, false
 		}
@@ -311,14 +357,14 @@ func (n *Network) run(rng *prng, pkt []byte, at netip.Addr, originated bool) (re
 // routerTTLCheck applies TTL processing for a transit packet arriving at
 // router r. done=true means the packet will not be forwarded as-is: either
 // reply is the ICMP error the router originates, or nil for a silent drop.
-func routerTTLCheck(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) (done bool, reply []byte) {
+func routerTTLCheck(ctx *exchCtx, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) (done bool, reply []byte) {
 	switch {
 	case hdr.TTL == 0:
 		// Arrived already dead (zero-TTL forwarded upstream): quote TTL 0.
 		if cfg.faults.Silent {
 			return true, nil
 		}
-		return true, originateTimeExceeded(r, cfg, at, pkt, hdr, payload)
+		return true, originateTimeExceeded(ctx, r, cfg, at, pkt, hdr, payload)
 	case hdr.TTL == 1:
 		if cfg.faults.ZeroTTLForward {
 			// The Fig. 4 misbehaviour: forward with TTL 0.
@@ -331,7 +377,7 @@ func routerTTLCheck(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr
 		if cfg.faults.Silent {
 			return true, nil
 		}
-		return true, originateTimeExceeded(r, cfg, at, pkt, hdr, payload)
+		return true, originateTimeExceeded(ctx, r, cfg, at, pkt, hdr, payload)
 	default:
 		if err := packet.PatchTTL(pkt, hdr.TTL-1); err != nil {
 			return true, nil
@@ -345,27 +391,27 @@ func routerTTLCheck(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr
 // Exactly one of (next, reply, dropped) is meaningful: a valid next means
 // the packet moves to that interface; reply is an originated ICMP error;
 // dropped means silence.
-func (n *Network) routerForward(rng *prng, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte, originated bool) (next netip.Addr, reply []byte, dropped bool) {
+func (n *Network) routerForward(ctx *exchCtx, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte, originated bool) (next netip.Addr, reply []byte, dropped bool) {
 	isTransitProbe := !originated
 	if cfg.faults.Unreachable && isTransitProbe {
-		return netip.Addr{}, originateUnreachable(r, cfg, at, pkt, hdr, payload), false
+		return netip.Addr{}, originateUnreachable(ctx, r, cfg, at, pkt, hdr, payload), false
 	}
 	if cfg.faults.ForwardOverride.IsValid() && !originated {
 		return cfg.faults.ForwardOverride, nil, false
 	}
-	rt, found := r.lookup(hdr.Dst)
+	rt, found := ctx.lookup(r, hdr.Dst)
 	if !found {
 		if originated {
 			return netip.Addr{}, nil, true // can't route our own ICMP; drop
 		}
-		return netip.Addr{}, originateUnreachable(r, cfg, at, pkt, hdr, payload), false
+		return netip.Addr{}, originateUnreachable(ctx, r, cfg, at, pkt, hdr, payload), false
 	}
-	if cfg.faults.DropProbability > 0 && !originated && rng.Float64() < cfg.faults.DropProbability {
+	if cfg.faults.DropProbability > 0 && !originated && ctx.rng.Float64() < cfg.faults.DropProbability {
 		return netip.Addr{}, nil, true
 	}
 	var hopRng *prng
 	if n.RandomPerPacket {
-		hopRng = rng
+		hopRng = &ctx.rng
 	}
 	hop, err := r.selectHop(rt, hdr, payload, hopRng)
 	if err != nil {
@@ -396,7 +442,7 @@ func quoteOf(pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
 // originateTimeExceeded builds the serialized ICMP Time Exceeded response
 // for pkt arriving on interface `at` of router r (quoting pkt as received,
 // per Section 2.2: normal behaviour quotes probe TTL 1).
-func originateTimeExceeded(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
+func originateTimeExceeded(ctx *exchCtx, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
 	if isICMPError(hdr, payload) {
 		return nil // never generate ICMP about ICMP errors (RFC 792)
 	}
@@ -405,10 +451,10 @@ func originateTimeExceeded(r *Router, cfg *routerConfig, at netip.Addr, pkt []by
 		Code:    packet.CodeTTLExceeded,
 		Payload: quoteOf(pkt, hdr, payload),
 	}
-	return marshalFromRouter(r, cfg, at, hdr.Src, &m)
+	return marshalFromRouter(ctx, r, cfg, at, hdr.Src, &m)
 }
 
-func originateUnreachable(r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
+func originateUnreachable(ctx *exchCtx, r *Router, cfg *routerConfig, at netip.Addr, pkt []byte, hdr *packet.IPv4, payload []byte) []byte {
 	faults := cfg.faults
 	if faults.Silent || isICMPError(hdr, payload) {
 		return nil
@@ -424,17 +470,18 @@ func originateUnreachable(r *Router, cfg *routerConfig, at netip.Addr, pkt []byt
 		Code:    code,
 		Payload: quoteOf(pkt, hdr, payload),
 	}
-	return marshalFromRouter(r, cfg, at, hdr.Src, &m)
+	return marshalFromRouter(ctx, r, cfg, at, hdr.Src, &m)
 }
 
-func marshalFromRouter(r *Router, cfg *routerConfig, from, to netip.Addr, m *packet.ICMP) []byte {
-	out, err := packet.MarshalIPv4ICMP(&packet.IPv4{
+func marshalFromRouter(ctx *exchCtx, r *Router, cfg *routerConfig, from, to netip.Addr, m *packet.ICMP) []byte {
+	ip := packet.IPv4{
 		TTL:      cfg.icmpTTL,
 		Protocol: packet.ProtoICMP,
 		ID:       r.nextIPID(cfg),
 		Src:      from,
 		Dst:      to,
-	}, m)
+	}
+	out, err := packet.MarshalIPv4ICMPInto(ctx.respBuf(packet.IPv4ICMPLen(&ip, m)), &ip, m)
 	if err != nil {
 		return nil
 	}
@@ -442,7 +489,7 @@ func marshalFromRouter(r *Router, cfg *routerConfig, from, to netip.Addr, m *pac
 }
 
 // routerRespondLocal answers a probe addressed to the router itself.
-func routerRespondLocal(r *Router, cfg *routerConfig, local netip.Addr, hdr *packet.IPv4, payload, pkt []byte) []byte {
+func routerRespondLocal(ctx *exchCtx, r *Router, cfg *routerConfig, local netip.Addr, hdr *packet.IPv4, payload, pkt []byte) []byte {
 	if cfg.faults.Silent {
 		return nil
 	}
@@ -453,22 +500,22 @@ func routerRespondLocal(r *Router, cfg *routerConfig, local netip.Addr, hdr *pac
 			Code:    packet.CodePortUnreachable,
 			Payload: quoteOf(pkt, hdr, payload),
 		}
-		return marshalFromRouter(r, cfg, local, hdr.Src, &m)
+		return marshalFromRouter(ctx, r, cfg, local, hdr.Src, &m)
 	case packet.ProtoICMP:
-		em, err := packet.ParseICMP(payload)
-		if err != nil || em.Type != packet.ICMPTypeEchoRequest {
+		var em packet.ICMP
+		if err := packet.ParseICMPInto(payload, &em); err != nil || em.Type != packet.ICMPTypeEchoRequest {
 			return nil
 		}
 		reply := packet.ICMP{
 			Type:    packet.ICMPTypeEchoReply,
 			ID:      em.ID,
 			Seq:     em.Seq,
-			Payload: em.Payload, // copied out by MarshalIPv4ICMP
+			Payload: em.Payload, // copied out by MarshalIPv4ICMPInto
 		}
-		return marshalFromRouter(r, cfg, local, hdr.Src, &reply)
+		return marshalFromRouter(ctx, r, cfg, local, hdr.Src, &reply)
 	case packet.ProtoTCP:
-		th, _, _, err := packet.ParseTCP(payload)
-		if err != nil || th == nil {
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(payload, &th); err != nil {
 			return nil
 		}
 		seg, err := packet.MarshalTCP(local, hdr.Src, &packet.TCP{
@@ -481,13 +528,14 @@ func routerRespondLocal(r *Router, cfg *routerConfig, local netip.Addr, hdr *pac
 		if err != nil {
 			return nil
 		}
-		out, err := (&packet.IPv4{
+		ip := packet.IPv4{
 			TTL:      cfg.icmpTTL,
 			Protocol: packet.ProtoTCP,
 			ID:       r.nextIPID(cfg),
 			Src:      local,
 			Dst:      hdr.Src,
-		}).Marshal(seg)
+		}
+		out, err := ip.MarshalInto(ctx.respBuf(ip.HeaderLen()+len(seg)), seg)
 		if err != nil {
 			return nil
 		}

@@ -40,11 +40,48 @@
 //     SetFaults and friends publish a fresh snapshot, so routing dynamics
 //     (flaps, transient loops, mid-trace flips) can be injected while
 //     probes are in flight without a lock.
-//   - Forwarding tables are guarded by a per-router RWMutex: lookups take
-//     a read lock for the duration of one longest-prefix match; route
-//     mutation (AddRoute, SetRoutes, RewriteRoutes) takes the write lock.
+//   - Forwarding tables publish an immutable lookup snapshot (entry list
+//     plus /32 and prefix indexes) behind an atomic pointer, exactly like
+//     the config snapshot: the per-visit lookup is lock-free. Route
+//     mutation (AddRoute, SetRoutes, RewriteRoutes) serializes on a
+//     per-router mutex, invalidates the snapshot, and the next lookup
+//     rebuilds it once. Entries are never mutated in place, so pointers
+//     into a published snapshot stay valid indefinitely.
 //   - Counters (the network probe counter, per-router IP ID and
 //     round-robin counters, per-host IP ID) are atomics.
+//
+// # Batch exchange contract
+//
+// ExchangeBatch(probes, out) is deterministically equivalent to calling
+// Exchange once per probe in slice order:
+//
+//   - The batch reserves one contiguous block of the network probe counter
+//     up front, so probe i derives exactly the (seed, counter) SplitMix64
+//     stream — and OnSend hooks observe exactly the count — it would have
+//     as the corresponding sequential Exchange. Interleaving with other
+//     goroutines' exchanges permutes counter assignment across call sites
+//     but never within a batch.
+//   - OnSend hooks run between probes, before probe i forwards, exactly as
+//     in the sequential path — but under the topology read lock, which the
+//     batch holds across the whole call. Hooks may mutate router config and
+//     forwarding tables (the routing-dynamics gadgets do); they must not
+//     register topology (AddRouter, AddIface, AttachHost, OnSend would
+//     self-deadlock).
+//   - When the network has no OnSend hooks, per-router config snapshots
+//     and forwarding-table lookups are memoized for the duration of the
+//     batch (hooks are the one sanctioned mid-batch mutator, so without
+//     them the memo is exact). Config or route changes made concurrently
+//     by other goroutines then become visible at batch rather than visit
+//     granularity — the same class of schedule sensitivity concurrent
+//     exchanges already have.
+//   - Arena ownership: the probe copy and every originated response are
+//     carved from a pooled per-batch arena that is recycled probe to probe
+//     and batch to batch; no arena memory ever escapes ExchangeBatch. The
+//     final response is copied out with append-truncate into the caller's
+//     out[i].Resp, so the caller owns (and should reuse) the result
+//     buffers, and a result is valid until the caller passes the same slot
+//     to another batch. Probes are read-only to the batch and may be
+//     recycled by the caller once the call returns.
 //
 // # Shard ownership
 //
@@ -218,14 +255,18 @@ type Router struct {
 	// routerConfig.
 	config atomic.Pointer[routerConfig]
 
-	// tableMu guards the forwarding table. Lookups take the read lock for
-	// one longest-prefix match; route mutation takes the write lock.
-	tableMu sync.RWMutex
-	table   []Route
-	// host32 indexes /32 entries of table for O(1) lookup; campaign
-	// topologies install one host route per destination along each path,
-	// so core routers carry thousands of them.
-	host32 map[netip.Addr]int
+	// tableMu serializes route mutators and snapshot rebuilds; the lookup
+	// hot path never takes it (it loads the snapshot pointer instead).
+	tableMu sync.Mutex
+	// table is the mutable route list, guarded by tableMu. Entries are
+	// never mutated in place — mutators append or install a fresh slice —
+	// so pointers into a published snapshot stay valid forever.
+	table []Route
+	// snap is the atomically-published lookup snapshot, rebuilt on demand
+	// after a mutation (mutators clear it; the next lookup pays the one
+	// O(table) rebuild). nil means stale. Like the config snapshot, this
+	// keeps the per-visit hot path free of locks and shared counters.
+	snap atomic.Pointer[routerTable]
 
 	// ipID is the router's internal counter stamped (mod 2^16) into the
 	// IP ID of every packet it originates, "usually incremented for each
@@ -272,23 +313,32 @@ func (r *Router) updateConfig(f func(*routerConfig)) {
 	r.config.Store(&cfg)
 }
 
+// routerTable is the immutable lookup snapshot: the route entries it was
+// built from plus the two indexes the hot path consults. entries shares the
+// mutable table's backing array at build time; that is safe because entries
+// are never overwritten in place and the snapshot's length bounds every
+// access.
+type routerTable struct {
+	entries []Route
+	// host32 indexes /32 entries for O(1) lookup, keyed by the 4-byte
+	// address (cheap to hash — probed once per router visit); campaign
+	// topologies install one host route per destination along each path,
+	// so core routers carry thousands of them.
+	host32 map[uint32]int
+	// prefixIdx lists the indices of non-/32 entries, so the LPM
+	// fallback scans only real prefixes (a handful: pod subnets and the
+	// default route) instead of the thousands of indexed host routes.
+	prefixIdx []int
+}
+
 // AddRoute appends a forwarding-table entry. Entries are matched by longest
 // prefix; ties go to the earliest entry.
 func (r *Router) AddRoute(rt Route) *Router {
 	r.tableMu.Lock()
 	defer r.tableMu.Unlock()
-	r.addRouteLocked(rt)
-	return r
-}
-
-func (r *Router) addRouteLocked(rt Route) {
 	r.table = append(r.table, rt)
-	if rt.Prefix.Bits() == 32 {
-		if r.host32 == nil {
-			r.host32 = make(map[netip.Addr]int)
-		}
-		r.host32[rt.Prefix.Addr()] = len(r.table) - 1
-	}
+	r.snap.Store(nil)
+	return r
 }
 
 // RewriteRoutes applies f to every forwarding-table entry, replacing each
@@ -297,12 +347,12 @@ func (r *Router) addRouteLocked(rt Route) {
 func (r *Router) RewriteRoutes(f func(Route) Route) {
 	r.tableMu.Lock()
 	defer r.tableMu.Unlock()
-	old := r.table
-	r.table = nil
-	r.host32 = nil
-	for _, rt := range old {
-		r.addRouteLocked(f(rt))
+	fresh := make([]Route, 0, len(r.table))
+	for _, rt := range r.table {
+		fresh = append(fresh, f(rt))
 	}
+	r.table = fresh
+	r.snap.Store(nil)
 }
 
 // SetRoutes replaces the entire forwarding table (used by routing-change
@@ -310,18 +360,41 @@ func (r *Router) RewriteRoutes(f func(Route) Route) {
 func (r *Router) SetRoutes(rts []Route) {
 	r.tableMu.Lock()
 	defer r.tableMu.Unlock()
-	r.table = nil
-	r.host32 = nil
-	for _, rt := range rts {
-		r.addRouteLocked(rt)
-	}
+	r.table = append([]Route(nil), rts...)
+	r.snap.Store(nil)
 }
 
 // Routes returns a copy of the forwarding table.
 func (r *Router) Routes() []Route {
-	r.tableMu.RLock()
-	defer r.tableMu.RUnlock()
+	r.tableMu.Lock()
+	defer r.tableMu.Unlock()
 	return append([]Route(nil), r.table...)
+}
+
+// snapshot returns the current lookup snapshot, rebuilding it (once, under
+// tableMu, with double-checked publication) when a mutation invalidated it.
+func (r *Router) snapshot() *routerTable {
+	if t := r.snap.Load(); t != nil {
+		return t
+	}
+	r.tableMu.Lock()
+	defer r.tableMu.Unlock()
+	if t := r.snap.Load(); t != nil {
+		return t
+	}
+	t := &routerTable{entries: r.table}
+	for i := range t.entries {
+		if t.entries[i].Prefix.Bits() == 32 {
+			if t.host32 == nil {
+				t.host32 = make(map[uint32]int, len(t.entries))
+			}
+			t.host32[mustA4(t.entries[i].Prefix.Addr())] = i
+		} else {
+			t.prefixIdx = append(t.prefixIdx, i)
+		}
+	}
+	r.snap.Store(t)
+	return t
 }
 
 // SetFaults replaces the router's fault configuration.
@@ -359,33 +432,36 @@ func (r *Router) nextIPID(cfg *routerConfig) uint16 {
 }
 
 // lookup performs longest-prefix-match on the forwarding table, consulting
-// the /32 index first.
-func (r *Router) lookup(dst netip.Addr) (Route, bool) {
-	r.tableMu.RLock()
-	defer r.tableMu.RUnlock()
-	if i, ok := r.host32[dst]; ok {
-		return r.table[i], true
+// the /32 index first. The hot path is lock-free: one atomic snapshot load,
+// one cheap-keyed map probe. It returns a pointer into the snapshot rather
+// than a copy — lookup runs once per router visit, and the Route struct is
+// large enough that copying it dominated profiles; the pointer stays valid
+// because snapshot entries are never mutated in place.
+func (r *Router) lookup(dst netip.Addr) (*Route, bool) {
+	t := r.snapshot()
+	if k, ok := a4(dst); ok {
+		if i, hit := t.host32[k]; hit {
+			return &t.entries[i], true
+		}
 	}
 	best := -1
 	bestLen := -1
-	for i, rt := range r.table {
-		if rt.Prefix.Bits() == 32 {
-			continue // covered by the index
-		}
+	for _, i := range t.prefixIdx {
+		rt := &t.entries[i]
 		if rt.Prefix.Contains(dst) && rt.Prefix.Bits() > bestLen {
 			best, bestLen = i, rt.Prefix.Bits()
 		}
 	}
 	if best < 0 {
-		return Route{}, false
+		return nil, false
 	}
-	return r.table[best], true
+	return &t.entries[best], true
 }
 
 // selectHop chooses one of the route's equal-cost next hops for the packet
 // with the given parsed header and transport payload. rng is nil for
 // deterministic round-robin PerPacket spreading.
-func (r *Router) selectHop(rt Route, hdr *packet.IPv4, payload []byte, rng *prng) (NextHop, error) {
+func (r *Router) selectHop(rt *Route, hdr *packet.IPv4, payload []byte, rng *prng) (NextHop, error) {
 	n := len(rt.Hops)
 	if n == 0 {
 		return NextHop{}, fmt.Errorf("netsim: route %v on %s has no next hops", rt.Prefix, r.Name)

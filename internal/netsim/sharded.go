@@ -3,7 +3,10 @@ package netsim
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
+
+	"repro/internal/tracer"
 )
 
 // ShardedTransport fans probes out over several fully independent Network
@@ -57,13 +60,94 @@ func NewShardedTransport(nets []*Network, shardOf map[netip.Addr]int) *ShardedTr
 // destination address straight from the serialized IPv4 header and hands
 // the probe to that destination's shard.
 func (t *ShardedTransport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
-	idx := 0
+	return t.shards[t.shardIdx(probe)].Exchange(probe)
+}
+
+// shardIdx maps a serialized probe to the shard owning its destination.
+func (t *ShardedTransport) shardIdx(probe []byte) int {
 	if len(probe) >= 20 {
 		if s, ok := t.shardOf[netip.AddrFrom4([4]byte(probe[16:20]))]; ok {
-			idx = s
+			return s
 		}
 	}
-	return t.shards[idx].Exchange(probe)
+	return 0
+}
+
+// shardScratch is the pooled grouping state of a mixed-shard batch: the
+// per-shard position lists and the sub-batch probe/result slices.
+type shardScratch struct {
+	idxs   [][]int
+	probes [][]byte
+	res    []tracer.ProbeResult
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+// ExchangeBatch implements the tracer BatchTransport contract over the
+// shards: the batch is grouped by destination shard and fanned out as one
+// sub-batch per shard, preserving submission order within each shard (the
+// order that fixes each shard's probe-counter block). The common case — a
+// TTL ladder toward a single destination, hence a single shard — dispatches
+// directly with no grouping at all.
+func (t *ShardedTransport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("netsim: ExchangeBatch result slice shorter than probe slice")
+	}
+	if len(probes) == 0 {
+		return
+	}
+	first := t.shardIdx(probes[0])
+	single := true
+	for _, p := range probes[1:] {
+		if t.shardIdx(p) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		t.shards[first].ExchangeBatch(probes, out[:len(probes)])
+		return
+	}
+
+	sc := shardScratchPool.Get().(*shardScratch)
+	for len(sc.idxs) < len(t.shards) {
+		sc.idxs = append(sc.idxs, nil)
+	}
+	idxs := sc.idxs[:len(t.shards)]
+	for s := range idxs {
+		idxs[s] = idxs[s][:0]
+	}
+	for i, p := range probes {
+		s := t.shardIdx(p)
+		idxs[s] = append(idxs[s], i)
+	}
+	for s, list := range idxs {
+		if len(list) == 0 {
+			continue
+		}
+		sc.probes = sc.probes[:0]
+		for len(sc.res) < len(list) {
+			sc.res = append(sc.res, tracer.ProbeResult{})
+		}
+		res := sc.res[:len(list)]
+		for j, i := range list {
+			sc.probes = append(sc.probes, probes[i])
+			// Move the caller's buffer into the sub-batch slot so it
+			// is recycled rather than reallocated.
+			res[j] = tracer.ProbeResult{Resp: out[i].Resp[:0:cap(out[i].Resp)]}
+		}
+		t.shards[s].ExchangeBatch(sc.probes, res)
+		for j, i := range list {
+			out[i] = res[j]
+			res[j] = tracer.ProbeResult{}
+		}
+	}
+	// Drop probe references so the pool does not pin caller buffers —
+	// over the full capacity, since earlier (larger) shard groups may
+	// have left pointers beyond the last group's truncated length.
+	clear(sc.probes[:cap(sc.probes)])
+	sc.probes = sc.probes[:0]
+	shardScratchPool.Put(sc)
 }
 
 // Source implements the tracer Transport contract. The source address is

@@ -2,12 +2,15 @@ package netsim
 
 import (
 	"net/netip"
+	"sync"
 	"time"
+
+	"repro/internal/tracer"
 )
 
-// Transport adapts a Network to the tracer.Transport interface: one
-// synchronous probe/response exchange per call, with a synthetic RTT
-// proportional to the number of node traversals.
+// Transport adapts a Network to the tracer.Transport and
+// tracer.BatchTransport interfaces: synchronous probe/response exchanges
+// with a synthetic RTT proportional to the number of node traversals.
 //
 // Transport is safe for concurrent use: exchanges forward in parallel
 // (see the package comment's concurrency model), so one Transport can be
@@ -32,6 +35,44 @@ func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
 		return nil, 0, false
 	}
 	return resp, time.Duration(steps) * t.PerHop, true
+}
+
+// exchPool recycles the []ExchangeResult bridges between the tracer-facing
+// and the network-facing batch result types. Response buffers do not live
+// here: they are moved into the caller's ProbeResult slots before the
+// scratch is pooled, so pooled entries never alias caller memory.
+var exchPool = sync.Pool{New: func() any { return new([]ExchangeResult) }}
+
+// ExchangeBatch implements the tracer BatchTransport contract. Each
+// out[i].Resp buffer is seeded into the network batch call (which refills it
+// with append-truncate) and handed back, so the caller's buffers recycle
+// across batches with no copying layer in between.
+func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("netsim: ExchangeBatch result slice shorter than probe slice")
+	}
+	sp := exchPool.Get().(*[]ExchangeResult)
+	res := *sp
+	if cap(res) < len(probes) {
+		res = make([]ExchangeResult, len(probes))
+	}
+	res = res[:len(probes)]
+	for i := range probes {
+		res[i] = ExchangeResult{Resp: out[i].Resp[:0:cap(out[i].Resp)]}
+	}
+	t.net.ExchangeBatch(probes, res)
+	for i := range probes {
+		out[i].Resp = res[i].Resp
+		out[i].OK = res[i].OK
+		if res[i].OK {
+			out[i].RTT = time.Duration(res[i].Steps) * t.PerHop
+		} else {
+			out[i].RTT = 0
+		}
+		res[i] = ExchangeResult{}
+	}
+	*sp = res
+	exchPool.Put(sp)
 }
 
 // Source implements the tracer Transport contract.

@@ -18,6 +18,18 @@ func Checksum(b []byte) uint16 {
 	return finish(sum(b))
 }
 
+// sliceInto returns buf[:n] when buf has at least n bytes of capacity, or a
+// fresh n-byte slice otherwise. The Into marshal variants use it so callers
+// can recycle packet buffers across marshals without the API forcing an
+// allocation per packet. Callers must overwrite every byte of the result
+// (stale bytes from the recycled buffer are not cleared here).
+func sliceInto(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}
+
 // sum accumulates the 16-bit one's-complement sum of b without folding.
 func sum(b []byte) uint32 {
 	var s uint32

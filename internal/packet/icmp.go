@@ -68,6 +68,21 @@ func (m *ICMP) Marshal() ([]byte, error) {
 // output before this function returns. This is the response path of the
 // network simulator, hit once per ICMP error or echo reply it originates.
 func MarshalIPv4ICMP(ip *IPv4, m *ICMP) ([]byte, error) {
+	return MarshalIPv4ICMPInto(nil, ip, m)
+}
+
+// IPv4ICMPLen returns the serialized length of MarshalIPv4ICMP's output for
+// the given header and message, so callers carving the destination buffer
+// out of an arena can size it exactly.
+func IPv4ICMPLen(ip *IPv4, m *ICMP) int {
+	return ip.HeaderLen() + ICMPHeaderLen + len(m.Payload)
+}
+
+// MarshalIPv4ICMPInto is MarshalIPv4ICMP serializing into buf when it has
+// sufficient capacity (allocating otherwise). The returned packet aliases
+// buf in the reuse case; the simulator's batch arena supplies buf to take
+// response marshaling off the heap.
+func MarshalIPv4ICMPInto(buf []byte, ip *IPv4, m *ICMP) ([]byte, error) {
 	if err := ip.headerCheck(); err != nil {
 		return nil, err
 	}
@@ -76,10 +91,11 @@ func MarshalIPv4ICMP(ip *IPv4, m *ICMP) ([]byte, error) {
 	if total > 0xffff {
 		return nil, fmt.Errorf("packet: IPv4 packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	b := sliceInto(buf, total)
 	body := b[hlen:]
 	body[0] = m.Type
 	body[1] = m.Code
+	body[2], body[3] = 0, 0 // clear any stale checksum before summing
 	put16(body[4:], m.ID)
 	put16(body[6:], m.Seq)
 	copy(body[8:], m.Payload)
@@ -90,17 +106,28 @@ func MarshalIPv4ICMP(ip *IPv4, m *ICMP) ([]byte, error) {
 
 // ParseICMP decodes an ICMPv4 message.
 func ParseICMP(b []byte) (*ICMP, error) {
-	if len(b) < ICMPHeaderLen {
-		return nil, ErrTruncated
+	m := new(ICMP)
+	if err := ParseICMPInto(b, m); err != nil {
+		return nil, err
 	}
-	return &ICMP{
+	return m, nil
+}
+
+// ParseICMPInto decodes an ICMPv4 message into m, avoiding the heap
+// allocation of ParseICMP. m is overwritten entirely; its Payload aliases b.
+func ParseICMPInto(b []byte, m *ICMP) error {
+	if len(b) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	*m = ICMP{
 		Type:     b[0],
 		Code:     b[1],
 		Checksum: get16(b[2:]),
 		ID:       get16(b[4:]),
 		Seq:      get16(b[6:]),
 		Payload:  b[8:],
-	}, nil
+	}
+	return nil
 }
 
 // VerifyICMPChecksum reports whether the serialized ICMP message msg has a

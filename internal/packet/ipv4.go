@@ -70,7 +70,9 @@ func (h *IPv4) putHeader(b []byte, total int) {
 	put16(b[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
 	b[8] = h.TTL
 	b[9] = h.Protocol
-	// checksum at b[10:12] computed below
+	// Checksum at b[10:12] computed below; clear first so a recycled
+	// buffer's stale checksum does not poison the sum.
+	b[10], b[11] = 0, 0
 	src := h.Src.As4()
 	dst := h.Dst.As4()
 	copy(b[12:16], src[:])
@@ -83,6 +85,14 @@ func (h *IPv4) putHeader(b []byte, total int) {
 // computing TotalLen and the header checksum. Src and Dst must be valid
 // IPv4 addresses.
 func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
+	return h.MarshalInto(nil, payload)
+}
+
+// MarshalInto is Marshal serializing into buf when it has sufficient
+// capacity (allocating a fresh slice otherwise). The returned packet aliases
+// buf in the reuse case; probe builders and the simulator's batch arena use
+// this to keep the marshal path allocation-free.
+func (h *IPv4) MarshalInto(buf, payload []byte) ([]byte, error) {
 	if err := h.headerCheck(); err != nil {
 		return nil, err
 	}
@@ -91,7 +101,7 @@ func (h *IPv4) Marshal(payload []byte) ([]byte, error) {
 	if total > 0xffff {
 		return nil, fmt.Errorf("packet: IPv4 packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	b := sliceInto(buf, total)
 	h.putHeader(b, total)
 	copy(b[hlen:], payload)
 	return b, nil

@@ -67,16 +67,27 @@ func MarshalTCP(src, dst netip.Addr, h *TCP, payload []byte) ([]byte, error) {
 // sequence number; ParseTCP accepts that and reports how much it parsed via
 // the Truncated return.
 func ParseTCP(b []byte) (h *TCP, payload []byte, truncated bool, err error) {
-	if len(b) < 8 {
-		return nil, nil, false, ErrTruncated
+	h = new(TCP)
+	payload, truncated, err = ParseTCPInto(b, h)
+	if err != nil {
+		return nil, nil, false, err
 	}
-	h = &TCP{
+	return h, payload, truncated, nil
+}
+
+// ParseTCPInto is ParseTCP decoding into h, avoiding the heap allocation.
+// h is overwritten entirely; payload and Options alias b.
+func ParseTCPInto(b []byte, h *TCP) (payload []byte, truncated bool, err error) {
+	if len(b) < 8 {
+		return nil, false, ErrTruncated
+	}
+	*h = TCP{
 		SrcPort: get16(b[0:]),
 		DstPort: get16(b[2:]),
 		Seq:     get32(b[4:]),
 	}
 	if len(b) < TCPHeaderLen {
-		return h, nil, true, nil
+		return nil, true, nil
 	}
 	h.Ack = get32(b[8:])
 	hlen := int(b[12]>>4) * 4
@@ -85,12 +96,12 @@ func ParseTCP(b []byte) (h *TCP, payload []byte, truncated bool, err error) {
 	h.Checksum = get16(b[16:])
 	h.Urgent = get16(b[18:])
 	if hlen < TCPHeaderLen || hlen > len(b) {
-		return h, nil, true, nil
+		return nil, true, nil
 	}
 	if hlen > TCPHeaderLen {
 		h.Options = b[TCPHeaderLen:hlen]
 	}
-	return h, b[hlen:], false, nil
+	return b[hlen:], false, nil
 }
 
 // VerifyTCPChecksum reports whether the serialized segment's checksum is

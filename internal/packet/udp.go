@@ -19,11 +19,19 @@ type UDP struct {
 // MarshalUDP serializes a UDP datagram (header + payload) with a correct
 // checksum over the IPv4 pseudo-header for src/dst.
 func MarshalUDP(src, dst netip.Addr, h *UDP, payload []byte) ([]byte, error) {
+	return MarshalUDPInto(nil, src, dst, h, payload)
+}
+
+// MarshalUDPInto is MarshalUDP serializing into buf when it has sufficient
+// capacity (allocating otherwise). The returned datagram aliases buf in the
+// reuse case; the UDP probe builders recycle their datagram scratch through
+// it across an entire trace.
+func MarshalUDPInto(buf []byte, src, dst netip.Addr, h *UDP, payload []byte) ([]byte, error) {
 	length := UDPHeaderLen + len(payload)
 	if length > 0xffff {
 		return nil, fmt.Errorf("packet: UDP datagram too large (%d bytes)", length)
 	}
-	b := make([]byte, length)
+	b := sliceInto(buf, length)
 	put16(b[0:], h.SrcPort)
 	put16(b[2:], h.DstPort)
 	put16(b[4:], uint16(length))
@@ -40,10 +48,22 @@ func MarshalUDP(src, dst netip.Addr, h *UDP, payload []byte) ([]byte, error) {
 // (aliasing b). Quoted datagrams inside ICMP errors may be truncated to the
 // first eight octets; the returned payload is then empty.
 func ParseUDP(b []byte) (*UDP, []byte, error) {
-	if len(b) < UDPHeaderLen {
-		return nil, nil, ErrTruncated
+	h := new(UDP)
+	payload, err := ParseUDPInto(b, h)
+	if err != nil {
+		return nil, nil, err
 	}
-	h := &UDP{
+	return h, payload, nil
+}
+
+// ParseUDPInto decodes the UDP header at the front of b into h, avoiding the
+// heap allocation of ParseUDP. h is overwritten entirely; the returned
+// payload aliases b.
+func ParseUDPInto(b []byte, h *UDP) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	*h = UDP{
 		SrcPort:  get16(b[0:]),
 		DstPort:  get16(b[2:]),
 		Length:   get16(b[4:]),
@@ -53,7 +73,7 @@ func ParseUDP(b []byte) (*UDP, []byte, error) {
 	if end < UDPHeaderLen || end > len(b) {
 		end = len(b)
 	}
-	return h, b[UDPHeaderLen:end], nil
+	return b[UDPHeaderLen:end], nil
 }
 
 // udpChecksum computes the UDP checksum of the serialized datagram dgram
@@ -92,6 +112,13 @@ func VerifyUDPChecksum(src, dst netip.Addr, dgram []byte) bool {
 // target must be nonzero: a zero UDP checksum means "not computed" and would
 // be rewritten to 0xffff on the wire, breaking probe matching.
 func CraftUDPPayload(src, dst netip.Addr, h *UDP, target uint16, n int) ([]byte, error) {
+	return CraftUDPPayloadInto(nil, src, dst, h, target, n)
+}
+
+// CraftUDPPayloadInto is CraftUDPPayload writing into buf when it has
+// sufficient capacity (allocating otherwise). The returned payload aliases
+// buf in the reuse case.
+func CraftUDPPayloadInto(buf []byte, src, dst netip.Addr, h *UDP, target uint16, n int) ([]byte, error) {
 	if target == 0 {
 		return nil, fmt.Errorf("packet: cannot craft a zero UDP checksum (means no-checksum on the wire)")
 	}
@@ -110,7 +137,10 @@ func CraftUDPPayload(src, dst netip.Addr, h *UDP, target uint16, n int) ([]byte,
 	s += sum(hdr[:6])
 	folded := ^finish(s) // one's-complement fold of s
 	x := onesSub(^target, folded)
-	payload := make([]byte, n)
+	payload := sliceInto(buf, n)
+	// The checksum math above assumes the n-2 trailing payload bytes are
+	// zero; a recycled buf may carry stale bytes, so clear explicitly.
+	clear(payload)
 	payload[0] = byte(x >> 8)
 	payload[1] = byte(x)
 	return payload, nil

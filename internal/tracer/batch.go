@@ -1,0 +1,151 @@
+package tracer
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// ProbeResult is the outcome of one probe within a batched exchange.
+type ProbeResult struct {
+	// Resp is the serialized response packet (empty when OK is false).
+	// The buffer is owned by the transport's caller and recycled in
+	// place across batches: it is valid until the same result slot is
+	// passed to the next ExchangeBatch call.
+	Resp []byte
+	// RTT is the round-trip time (zero when OK is false).
+	RTT time.Duration
+	// OK is false when no response arrived (a star).
+	OK bool
+}
+
+// BatchTransport is implemented by transports that can carry a whole batch
+// of probes — a TTL ladder toward one destination — in one call, amortizing
+// the per-exchange overhead. The semantics of the batch are exactly those of
+// len(probes) sequential Exchange calls in slice order (netsim guarantees
+// this byte-for-byte by reserving a contiguous probe-counter block; see the
+// netsim package comment's batch contract).
+type BatchTransport interface {
+	Transport
+	// ExchangeBatch exchanges probes[i] into out[i] for every i; out must
+	// be at least as long as probes. Implementations refill out[i].Resp
+	// with append-truncate, so callers reusing one result slice across
+	// batches amortize the response buffers too.
+	ExchangeBatch(probes [][]byte, out []ProbeResult)
+}
+
+// DefaultBatchWindow is the TTL-window submitted per batch when the trace
+// has no path-length hint. Windows bound the overshoot a batched ladder
+// probes past the terminal hop; campaigns feed the previous round's path
+// length back as Options.PathHint, which sizes the first window to finish
+// most traces in exactly one batch with zero overshoot.
+const DefaultBatchWindow = 8
+
+// Scratch holds the reusable buffers of the batched ladder: the probe
+// packets, their match expectations, and the exchange results whose response
+// buffers the transport refills in place. One Scratch serves one worker
+// goroutine (it is not safe for concurrent use); a campaign worker carries
+// its Scratch across every destination it probes, so the steady state
+// allocates nothing per trace.
+type Scratch struct {
+	probes  [][]byte
+	exps    []expect
+	results []ProbeResult
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grow ensures capacity for n probes without discarding the buffers already
+// accumulated in the slots.
+func (s *Scratch) grow(n int) {
+	for len(s.probes) < n {
+		s.probes = append(s.probes, nil)
+	}
+	for len(s.exps) < n {
+		s.exps = append(s.exps, expect{})
+	}
+	for len(s.results) < n {
+		s.results = append(s.results, ProbeResult{})
+	}
+}
+
+// traceBatched is the windowed-ladder twin of the sequential trace loop: it
+// builds a window of TTLs, submits them as one ExchangeBatch, and consumes
+// the results through the same ladder bookkeeping (ladderState) as the
+// sequential path, truncating at the first terminal hop or star-run
+// boundary. On a topology where forwarding is a pure function of the probe
+// bytes the resulting Route is identical hop for hop to the sequential
+// loop's; TestTraceBatchedMatchesSequential enforces that.
+func (e *engine) traceBatched(bt BatchTransport, dest netip.Addr) (*Route, error) {
+	o := e.opts
+	ladder := o.MaxTTL - o.MinTTL + 1
+	sc := o.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+
+	rt := &Route{Dest: dest, Source: e.tp.Source(), Halt: HaltMaxTTL}
+	rt.Hops = make([]Hop, 0, ladder)
+	ls := ladderState{rt: rt, opts: &o}
+	if o.ProbesPerHop > 1 {
+		ls.backing = make([]Hop, 0, ladder*o.ProbesPerHop)
+		rt.All = make([][]Hop, 0, ladder)
+	}
+	attempts := make([]Hop, o.ProbesPerHop)
+
+	window := o.BatchWindow
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	// The first window takes the path-length hint, so a stable route is
+	// probed in exactly one batch with no overshoot past the terminal hop.
+	next := window
+	if o.PathHint > 0 {
+		next = o.PathHint
+	}
+
+	probeIdx := 0
+	for ttl := o.MinTTL; ttl <= o.MaxTTL; {
+		w := next
+		next = window
+		if rest := o.MaxTTL - ttl + 1; w > rest {
+			w = rest
+		}
+		n := w * o.ProbesPerHop
+		sc.grow(n)
+		for i, t := 0, ttl; t < ttl+w; t++ {
+			for a := 0; a < o.ProbesPerHop; a++ {
+				probe, exp, err := e.build(dest, t, probeIdx, sc.probes[i])
+				probeIdx++
+				if err != nil {
+					return nil, fmt.Errorf("tracer %s: building probe ttl=%d: %w", e.name, t, err)
+				}
+				sc.probes[i], sc.exps[i] = probe, exp
+				i++
+			}
+		}
+		res := sc.results[:n]
+		bt.ExchangeBatch(sc.probes[:n], res)
+
+		for k := 0; k < w; k++ {
+			for a := 0; a < o.ProbesPerHop; a++ {
+				r := &res[k*o.ProbesPerHop+a]
+				h := Hop{TTL: ttl + k, ProbeTTL: -1}
+				if r.OK {
+					h = parseResponse(r.Resp, sc.exps[k*o.ProbesPerHop+a])
+					h.TTL = ttl + k
+					h.RTT = r.RTT
+				}
+				attempts[a] = h
+			}
+			if ls.step(attempts) {
+				// Truncate: results past the terminal hop or the
+				// star-run boundary are discarded unseen.
+				return rt, nil
+			}
+		}
+		ttl += w
+	}
+	return rt, nil
+}

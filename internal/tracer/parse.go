@@ -30,10 +30,13 @@ type expect struct {
 }
 
 // parseResponse decodes a serialized response packet into a Hop and applies
-// strict probe/response matching against exp.
+// strict probe/response matching against exp. Parsing stays on the stack
+// (the Into parser variants) — this runs once per exchange on the campaign
+// hot path.
 func parseResponse(resp []byte, exp expect) Hop {
 	h := Hop{ProbeTTL: -1}
-	outer, payload, err := packet.ParseIPv4(resp)
+	var outer packet.IPv4
+	payload, err := packet.ParseIPv4Into(resp, &outer)
 	if err != nil {
 		return h
 	}
@@ -43,8 +46,8 @@ func parseResponse(resp []byte, exp expect) Hop {
 
 	switch outer.Protocol {
 	case packet.ProtoICMP:
-		m, err := packet.ParseICMP(payload)
-		if err != nil {
+		var m packet.ICMP
+		if err := packet.ParseICMPInto(payload, &m); err != nil {
 			h.Mismatched = true
 			return h
 		}
@@ -74,18 +77,23 @@ func parseResponse(resp []byte, exp expect) Hop {
 			return h
 		}
 		// Error message: inspect the quoted probe.
-		inner, quoted, err := packet.ParseQuoted(m)
+		if !m.IsError() {
+			h.Mismatched = true
+			return h
+		}
+		var inner packet.IPv4
+		quoted, err := packet.ParseIPv4Into(m.Payload, &inner)
 		if err != nil {
 			h.Mismatched = true
 			return h
 		}
 		h.ProbeTTL = int(inner.TTL)
-		h.Mismatched = !matchQuoted(inner, quoted, exp)
+		h.Mismatched = !matchQuoted(&inner, quoted, exp)
 		return h
 
 	case packet.ProtoTCP:
-		th, _, _, err := packet.ParseTCP(payload)
-		if err != nil || th == nil {
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(payload, &th); err != nil {
 			h.Mismatched = true
 			return h
 		}
@@ -123,8 +131,8 @@ func matchQuoted(inner *packet.IPv4, transport []byte, exp expect) bool {
 	}
 	switch exp.proto {
 	case packet.ProtoUDP:
-		uh, _, err := packet.ParseUDP(transport)
-		if err != nil {
+		var uh packet.UDP
+		if _, err := packet.ParseUDPInto(transport, &uh); err != nil {
 			return false
 		}
 		if uh.SrcPort != exp.udpSrcPort {
@@ -141,8 +149,8 @@ func matchQuoted(inner *packet.IPv4, transport []byte, exp expect) bool {
 		}
 		return true
 	case packet.ProtoICMP:
-		m, err := packet.ParseICMP(transport)
-		if err != nil {
+		var m packet.ICMP
+		if err := packet.ParseICMPInto(transport, &m); err != nil {
 			return false
 		}
 		if m.Type != packet.ICMPTypeEchoRequest {
@@ -156,8 +164,8 @@ func matchQuoted(inner *packet.IPv4, transport []byte, exp expect) bool {
 		}
 		return true
 	case packet.ProtoTCP:
-		th, _, _, err := packet.ParseTCP(transport)
-		if err != nil || th == nil {
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(transport, &th); err != nil {
 			return false
 		}
 		if th.SrcPort != exp.tcpSrcPort || th.DstPort != exp.tcpDstPort {

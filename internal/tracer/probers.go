@@ -35,17 +35,20 @@ func NewClassicUDP(tp Transport, opts Options) Tracer {
 		basePort = ClassicBaseDstPort
 	}
 	src := tp.Source()
+	payload := make([]byte, opts.PayloadLen) // all-zero, read-only, shared by every probe
+	var dgramBuf []byte                      // datagram scratch recycled across probes
 	return &engine{
 		name: "classic-udp",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			dstPort := basePort + uint16(probeIdx)
 			uh := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
-			dgram, err := packet.MarshalUDP(src, dest, uh, make([]byte, opts.PayloadLen))
+			dgram, err := packet.MarshalUDPInto(dgramBuf, src, dest, uh, payload)
 			if err != nil {
 				return nil, expect{}, err
 			}
+			dgramBuf = dgram
 			pkt, err := (&packet.IPv4{
 				TOS:      opts.TOS,
 				TTL:      uint8(ttl),
@@ -53,7 +56,7 @@ func NewClassicUDP(tp Transport, opts Options) Tracer {
 				ID:       uint16(probeIdx + 1),
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(dgram)
+			}).MarshalInto(buf, dgram)
 			if err != nil {
 				return nil, expect{}, err
 			}
@@ -86,25 +89,28 @@ func NewParisUDP(tp Transport, opts Options) Tracer {
 		dstPort = 20011
 	}
 	src := tp.Source()
+	var payloadBuf, dgramBuf []byte // scratch recycled across probes
 	return &engine{
 		name: "paris-udp",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			// Probe identifier: checksum = probeIdx+1 (never zero).
 			target := uint16(probeIdx + 1)
 			if target == 0 {
 				target = 1
 			}
 			uh := &packet.UDP{SrcPort: srcPort, DstPort: dstPort}
-			payload, err := packet.CraftUDPPayload(src, dest, uh, target, opts.PayloadLen)
+			payload, err := packet.CraftUDPPayloadInto(payloadBuf, src, dest, uh, target, opts.PayloadLen)
 			if err != nil {
 				return nil, expect{}, err
 			}
-			dgram, err := packet.MarshalUDP(src, dest, uh, payload)
+			payloadBuf = payload
+			dgram, err := packet.MarshalUDPInto(dgramBuf, src, dest, uh, payload)
 			if err != nil {
 				return nil, expect{}, err
 			}
+			dgramBuf = dgram
 			if got := dgram[6]; uint16(got)<<8|uint16(dgram[7]) != target {
 				return nil, expect{}, fmt.Errorf("tracer: crafted checksum %#04x, want %#04x", uint16(dgram[6])<<8|uint16(dgram[7]), target)
 			}
@@ -115,7 +121,7 @@ func NewParisUDP(tp Transport, opts Options) Tracer {
 				ID:       uint16(probeIdx + 1),
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(dgram)
+			}).MarshalInto(buf, dgram)
 			if err != nil {
 				return nil, expect{}, err
 			}
@@ -146,7 +152,7 @@ func NewClassicICMP(tp Transport, opts Options) Tracer {
 		name: "classic-icmp",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			seq := uint16(probeIdx + 1)
 			m := &packet.ICMP{
 				Type:    packet.ICMPTypeEchoRequest,
@@ -165,7 +171,7 @@ func NewClassicICMP(tp Transport, opts Options) Tracer {
 				ID:       uint16(probeIdx + 1),
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(body)
+			}).MarshalInto(buf, body)
 			if err != nil {
 				return nil, expect{}, err
 			}
@@ -198,7 +204,7 @@ func NewParisICMP(tp Transport, opts Options) Tracer {
 		name: "paris-icmp",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			seq := uint16(probeIdx + 1)
 			payload := make([]byte, opts.PayloadLen)
 			id, err := packet.CompensatingEchoID(seq, target, payload)
@@ -222,7 +228,7 @@ func NewParisICMP(tp Transport, opts Options) Tracer {
 				ID:       uint16(probeIdx + 1),
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(body)
+			}).MarshalInto(buf, body)
 			if err != nil {
 				return nil, expect{}, err
 			}
@@ -255,7 +261,7 @@ func NewParisTCP(tp Transport, opts Options) Tracer {
 		name: "paris-tcp",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			seq := uint32(probeIdx + 1)
 			seg, err := packet.MarshalTCP(src, dest, &packet.TCP{
 				SrcPort: srcPort,
@@ -274,7 +280,7 @@ func NewParisTCP(tp Transport, opts Options) Tracer {
 				ID:       uint16(probeIdx + 1),
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(seg)
+			}).MarshalInto(buf, seg)
 			if err != nil {
 				return nil, expect{}, err
 			}
@@ -309,7 +315,7 @@ func NewTCPTraceroute(tp Transport, opts Options) Tracer {
 		name: "tcptraceroute",
 		tp:   tp,
 		opts: opts,
-		build: func(dest netip.Addr, ttl, probeIdx int) ([]byte, expect, error) {
+		build: func(dest netip.Addr, ttl, probeIdx int, buf []byte) ([]byte, expect, error) {
 			ipid := uint16(probeIdx + 1)
 			seg, err := packet.MarshalTCP(src, dest, &packet.TCP{
 				SrcPort: srcPort,
@@ -328,7 +334,7 @@ func NewTCPTraceroute(tp Transport, opts Options) Tracer {
 				ID:       ipid,
 				Src:      src,
 				Dst:      dest,
-			}).Marshal(seg)
+			}).MarshalInto(buf, seg)
 			if err != nil {
 				return nil, expect{}, err
 			}

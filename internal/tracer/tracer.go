@@ -238,6 +238,24 @@ type Options struct {
 	// absorb the checksum; default 12 mirrors classic traceroute's
 	// default packet length.
 	PayloadLen int
+	// Batch opts into the windowed batched ladder when the transport
+	// implements BatchTransport: the engine submits a window of TTLs as
+	// one ExchangeBatch and truncates at the first terminal hop or
+	// star-run boundary. Transports without batching fall back to the
+	// sequential loop. Off by default.
+	Batch bool
+	// BatchWindow is the number of TTLs submitted per batch (0 selects
+	// DefaultBatchWindow). Ignored unless Batch is set.
+	BatchWindow int
+	// PathHint sizes the first batch window to the expected ladder
+	// length (in TTLs), typically the previous round's len(Route.Hops)
+	// for the same destination; a correct hint makes the whole trace one
+	// batch with no probes wasted past the terminal hop. 0 means no hint.
+	PathHint int
+	// Scratch supplies the reusable probe/result buffers of the batched
+	// ladder. One Scratch must serve at most one goroutine; nil makes
+	// the trace allocate its own.
+	Scratch *Scratch
 }
 
 func (o Options) withDefaults() Options {
@@ -259,7 +277,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Tracer runs traceroutes using a specific probing discipline.
+// Tracer runs traceroutes using a specific probing discipline. A Tracer is
+// not safe for concurrent use (its probe builder recycles scratch buffers
+// between probes); construct one per goroutine.
 type Tracer interface {
 	// Trace measures the route from the transport's source to dest.
 	Trace(dest netip.Addr) (*Route, error)
@@ -276,19 +296,115 @@ type engine struct {
 }
 
 // proberFunc returns the serialized probe for the given TTL and global
-// probe index, plus the expectation used to match its response.
-type proberFunc func(dest netip.Addr, ttl, probeIdx int) (probe []byte, exp expect, err error)
+// probe index, plus the expectation used to match its response. buf, when
+// non-nil, offers a recycled buffer the probe may be marshaled into (the
+// returned probe then aliases it); the builder allocates otherwise.
+type proberFunc func(dest netip.Addr, ttl, probeIdx int, buf []byte) (probe []byte, exp expect, err error)
 
-// Trace implements Tracer.
+// haltFor classifies the halt reason of a terminal TTL. The hop actually
+// recorded for the TTL (first) decides: an echo reply recorded at this hop
+// is HaltDestination even when a sibling attempt drew an unreachable. Only
+// when the recorded hop is itself non-terminal (a star or an upstream Time
+// Exceeded alongside a terminal sibling) does the earliest terminal attempt
+// classify instead.
+func haltFor(first Hop, attempts []Hop) HaltReason {
+	pick := first
+	if !pick.Kind.Terminal() {
+		for _, h := range attempts {
+			if h.Kind.Terminal() {
+				pick = h
+				break
+			}
+		}
+	}
+	switch pick.Kind {
+	case KindHostUnreachable, KindNetUnreachable, KindOtherUnreachable:
+		return HaltUnreachable
+	}
+	return HaltDestination
+}
+
+// ladderState is the per-TTL bookkeeping shared verbatim by the sequential
+// and the batched trace loops, which is what makes their Routes identical by
+// construction: hop selection, the All backing array, star-run counting, and
+// halt classification all live here.
+type ladderState struct {
+	rt    *Route
+	opts  *Options
+	stars int
+	// backing holds every attempt of the trace contiguously when
+	// ProbesPerHop > 1; rt.All carves windows out of it instead of
+	// growing one slice per TTL attempt by attempt.
+	backing []Hop
+}
+
+// step consumes one TTL's attempts (a reused scratch slice; step copies what
+// it keeps) and reports whether the trace halts here, with rt.Halt set.
+func (ls *ladderState) step(attempts []Hop) bool {
+	first := attempts[0]
+	for _, h := range attempts {
+		if !h.Star() {
+			first = h
+			break
+		}
+	}
+	ls.rt.Hops = append(ls.rt.Hops, first)
+	if ls.opts.ProbesPerHop > 1 {
+		s := len(ls.backing)
+		ls.backing = append(ls.backing, attempts...)
+		ls.rt.All = append(ls.rt.All, ls.backing[s:len(ls.backing):len(ls.backing)])
+	}
+	if first.Star() {
+		ls.stars++
+	} else {
+		ls.stars = 0
+	}
+	terminal := false
+	for _, h := range attempts {
+		if h.Kind.Terminal() {
+			terminal = true
+			break
+		}
+	}
+	if terminal {
+		ls.rt.Halt = haltFor(first, attempts)
+		return true
+	}
+	if ls.stars >= ls.opts.MaxConsecutiveStars {
+		ls.rt.Halt = HaltStars
+		return true
+	}
+	return false
+}
+
+// Trace implements Tracer. With Options.Batch set and a batching transport
+// it runs the windowed batched ladder; otherwise the sequential loop.
 func (e *engine) Trace(dest netip.Addr) (*Route, error) {
+	if e.opts.Batch {
+		if bt, ok := e.tp.(BatchTransport); ok {
+			return e.traceBatched(bt, dest)
+		}
+	}
+	return e.traceSequential(dest)
+}
+
+// traceSequential is the classic one-exchange-at-a-time trace loop.
+func (e *engine) traceSequential(dest netip.Addr) (*Route, error) {
+	o := e.opts
+	ladder := o.MaxTTL - o.MinTTL + 1
 	rt := &Route{Dest: dest, Source: e.tp.Source(), Halt: HaltMaxTTL}
-	stars := 0
+	rt.Hops = make([]Hop, 0, ladder)
+	ls := ladderState{rt: rt, opts: &o}
+	if o.ProbesPerHop > 1 {
+		ls.backing = make([]Hop, 0, ladder*o.ProbesPerHop)
+		rt.All = make([][]Hop, 0, ladder)
+	}
+	attempts := make([]Hop, o.ProbesPerHop)
+
 	probeIdx := 0
-	for ttl := e.opts.MinTTL; ttl <= e.opts.MaxTTL; ttl++ {
-		var attempts []Hop
-		terminal := false
-		for a := 0; a < e.opts.ProbesPerHop; a++ {
-			probe, exp, err := e.build(dest, ttl, probeIdx)
+	for ttl := o.MinTTL; ttl <= o.MaxTTL; ttl++ {
+		for a := 0; a < o.ProbesPerHop; a++ {
+			probe, exp, err := e.build(dest, ttl, probeIdx, nil)
 			probeIdx++
 			if err != nil {
 				return nil, fmt.Errorf("tracer %s: building probe ttl=%d: %w", e.name, ttl, err)
@@ -300,39 +416,9 @@ func (e *engine) Trace(dest netip.Addr) (*Route, error) {
 				h.TTL = ttl
 				h.RTT = rtt
 			}
-			attempts = append(attempts, h)
-			if h.Kind.Terminal() {
-				terminal = true
-			}
+			attempts[a] = h
 		}
-		first := attempts[0]
-		for _, h := range attempts {
-			if !h.Star() {
-				first = h
-				break
-			}
-		}
-		rt.Hops = append(rt.Hops, first)
-		if e.opts.ProbesPerHop > 1 {
-			rt.All = append(rt.All, attempts)
-		}
-		if first.Star() {
-			stars++
-		} else {
-			stars = 0
-		}
-		if terminal {
-			rt.Halt = HaltDestination
-			for _, h := range attempts {
-				switch h.Kind {
-				case KindHostUnreachable, KindNetUnreachable, KindOtherUnreachable:
-					rt.Halt = HaltUnreachable
-				}
-			}
-			return rt, nil
-		}
-		if stars >= e.opts.MaxConsecutiveStars {
-			rt.Halt = HaltStars
+		if ls.step(attempts) {
 			return rt, nil
 		}
 	}
