@@ -10,6 +10,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/anomaly"
@@ -255,6 +256,58 @@ func BenchmarkCampaignRoundBatched(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCampaignStudyStream is the streaming A/B on the multi-round
+// study the engine actually ships: Config.Stream folding pairs into
+// per-worker accumulators as they complete, versus materializing every pair
+// and running Analyze at the end. One op is a full 500-destination ×
+// 16-round batched study (rounds amortize the accumulator's first-sight
+// interning the way the paper's 556 rounds do), so the custom ns/round and
+// allocs/round metrics compare directly with BenchmarkCampaignRound and the
+// BENCH_*.json trajectory, while allocated bytes expose the memory wall the
+// streaming engine removes.
+func BenchmarkCampaignStudyStream(b *testing.B) {
+	const rounds = 16
+	for _, stream := range []bool{false, true} {
+		b.Run(fmt.Sprintf("stream=%v", stream), func(b *testing.B) {
+			cfg := topo.DefaultGenConfig()
+			cfg.Destinations = 500
+			sc := topo.Generate(cfg)
+			camp, err := measure.NewCampaign(netsim.NewTransport(sc.Net), measure.Config{
+				Dests: sc.Dests, Rounds: rounds, Workers: 32,
+				RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
+				Batch: true, Stream: stream,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := camp.Run(); err != nil { // warm hints and scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := camp.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := res.Stats
+				if s == nil {
+					s = measure.Analyze(res)
+				}
+				if s.Routes != rounds*len(sc.Dests) {
+					b.Fatalf("stats cover %d routes, want %d", s.Routes, rounds*len(sc.Dests))
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*rounds), "allocs/round")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+		})
 	}
 }
 

@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-seed N] [-paper]
+//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-stream] [-seed N] [-paper]
 //
-// -paper selects the full-scale configuration (5,000 destinations; pair it
-// with -rounds 556 for the complete study — expect minutes of runtime).
-// -shards partitions the topology across N independent simulated networks
-// probed by shard-affine workers. -batch (default on) submits each trace's
-// TTL ladder through the batched exchange path, amortizing per-probe
-// overhead; -batch=false selects the sequential per-probe loop. Each
-// destination's anomaly behaviour is determined by its own pod's gadgets,
-// so neither the shard count nor batching changes the Section 4 statistics
+// -paper selects the paper's full-scale study — 5,000 destinations and,
+// unless -rounds is given explicitly, the complete 556 rounds. -shards
+// partitions the topology across N independent simulated networks probed
+// by shard-affine workers. -batch (default on) submits each trace's TTL
+// ladder through the batched exchange path, amortizing per-probe overhead;
+// -batch=false selects the sequential per-probe loop. -stream (default on)
+// folds the statistics into per-worker accumulators as pairs complete, so
+// memory stays O(destinations + unique routes) no matter how many rounds
+// run; -stream=false retains every pair and analyzes at the end (the
+// paper-scale study then holds ~5.6M routes in memory). Each destination's
+// anomaly behaviour is determined by its own pod's gadgets, so neither the
+// shard count, batching, nor streaming changes the Section 4 statistics
 // (bit-identical on schedule-free topologies, equal in distribution
 // otherwise) — only the scaling behaviour.
 package main
@@ -35,14 +39,25 @@ func main() {
 	workers := flag.Int("workers", 32, "parallel probing workers")
 	shards := flag.Int("shards", 1, "independent network shards the topology is partitioned across")
 	batch := flag.Bool("batch", true, "submit each trace's TTL ladder as batched exchanges")
+	stream := flag.Bool("stream", true, "fold statistics during the campaign (constant memory); false retains every pair")
 	seed := flag.Int64("seed", 42, "topology and dynamics seed")
-	paper := flag.Bool("paper", false, "use the paper-scale configuration (5,000 destinations)")
+	paper := flag.Bool("paper", false, "use the paper-scale configuration (5,000 destinations x 556 rounds)")
 	truth := flag.Bool("truth", false, "print generator ground truth")
 	flag.Parse()
+
+	roundsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rounds" {
+			roundsSet = true
+		}
+	})
 
 	cfg := topo.DefaultGenConfig()
 	if *paper {
 		cfg = topo.PaperScaleConfig()
+		if !roundsSet {
+			*rounds = 556
+		}
 	}
 	cfg.Seed = *seed
 	cfg.Shards = *shards
@@ -63,6 +78,7 @@ func main() {
 		PortSeed:   *seed,
 		ShardOf:    sc.ShardOf,
 		Batch:      *batch,
+		Stream:     *stream,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)
@@ -73,6 +89,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 		os.Exit(1)
 	}
-	stats := measure.Analyze(res)
+	stats := res.Stats
+	if stats == nil {
+		stats = measure.Analyze(res)
+	}
 	measure.WriteReport(os.Stdout, stats, sc.AS)
 }

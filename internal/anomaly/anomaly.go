@@ -194,7 +194,15 @@ func NewGraph(dest netip.Addr) *Graph {
 	}
 }
 
-// Add merges one measured route into the graph. Stars break adjacency.
+// Add merges one measured route into the graph in a single pass over its
+// hops. Stars break adjacency.
+//
+// Add is idempotent below the Routes counter: Succ and Triples are sets, so
+// merging a route whose edges are already present changes nothing. That is
+// the incremental-dedup contract streaming accumulators build on — a graph
+// grown one route per round holds exactly the edges of the distinct routes
+// seen, and re-adding an interned (round-over-round stable) route may be
+// skipped without moving a diamond statistic.
 func (g *Graph) Add(rt *tracer.Route) {
 	g.Routes++
 	hops := rt.Hops
@@ -209,19 +217,16 @@ func (g *Graph) Add(rt *tracer.Route) {
 			g.Succ[a.Addr] = s
 		}
 		s[b.Addr] = true
-	}
-	for i := 0; i+2 < len(hops); i++ {
-		h, m, t := hops[i], hops[i+1], hops[i+2]
-		if h.Star() || m.Star() || t.Star() {
+		if i+2 >= len(hops) || hops[i+2].Star() {
 			continue
 		}
-		key := [2]netip.Addr{h.Addr, t.Addr}
-		s := g.Triples[key]
-		if s == nil {
-			s = make(map[netip.Addr]bool)
-			g.Triples[key] = s
+		key := [2]netip.Addr{a.Addr, hops[i+2].Addr}
+		t := g.Triples[key]
+		if t == nil {
+			t = make(map[netip.Addr]bool)
+			g.Triples[key] = t
 		}
-		s[m.Addr] = true
+		t[b.Addr] = true
 	}
 }
 

@@ -321,3 +321,107 @@ func TestCauseStrings(t *testing.T) {
 		}
 	}
 }
+
+// pairClassReference recomputes a PairClass the pre-streaming way: one
+// ClassifyLoop/ClassifyCycle call per instance and the nested Paris-only
+// rescan. ClassifyPair must match it exactly.
+func pairClassReference(classic, paris *tracer.Route) PairClass {
+	pc := PairClass{Loops: FindLoops(classic), Cycles: FindCycles(classic)}
+	if len(pc.Loops) > 0 {
+		pc.LoopCauses = make([]Cause, len(pc.Loops))
+		for i, l := range pc.Loops {
+			pc.LoopCauses[i] = ClassifyLoop(l, classic, paris)
+		}
+	}
+	if len(pc.Cycles) > 0 {
+		pc.CycleCauses = make([]Cause, len(pc.Cycles))
+		for i, c := range pc.Cycles {
+			pc.CycleCauses[i] = ClassifyCycle(c, classic, paris)
+		}
+	}
+	for _, l := range FindLoops(paris) {
+		found := false
+		for _, cl := range pc.Loops {
+			if cl.Addr == l.Addr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pc.ParisOnly++
+		}
+	}
+	return pc
+}
+
+func TestClassifyPairMatchesPerInstance(t *testing.T) {
+	cases := []struct {
+		name           string
+		classic, paris *tracer.Route
+	}{
+		{"clean", mkRoute(1, 2, 3), mkRoute(1, 2, 3)},
+		{"per-flow loop", mkRoute(1, 2, 2, 3), mkRoute(1, 2, 4, 3)},
+		{"shared loop", mkRoute(1, 2, 2, 3), mkRoute(1, 2, 2, 3)},
+		{"paris-only loop", mkRoute(1, 2, 3), mkRoute(1, 4, 4, 3)},
+		{"both sides loop plus paris-only", mkRoute(1, 2, 2, 3), mkRoute(1, 2, 2, 5, 5)},
+		{"cycle per-flow", mkRoute(1, 2, 3, 2, 4), mkRoute(1, 2, 3, 5, 4)},
+		{"loop and cycle", mkRoute(1, 2, 2, 3, 2, 4), mkRoute(1, 6, 3, 5, 4)},
+		{"stars", mkRoute(1, -1, 2, 2, -1, 3), mkRoute(1, -1, 2, 4, -1, 3)},
+	}
+	for _, tc := range cases {
+		want := pairClassReference(tc.classic, tc.paris)
+		got := ClassifyPair(tc.classic, tc.paris)
+		if len(got.Loops) != len(want.Loops) || len(got.Cycles) != len(want.Cycles) ||
+			got.ParisOnly != want.ParisOnly {
+			t.Errorf("%s: ClassifyPair shape = %d loops/%d cycles/%d paris-only, want %d/%d/%d",
+				tc.name, len(got.Loops), len(got.Cycles), got.ParisOnly,
+				len(want.Loops), len(want.Cycles), want.ParisOnly)
+			continue
+		}
+		for i := range want.LoopCauses {
+			if got.LoopCauses[i] != want.LoopCauses[i] {
+				t.Errorf("%s: loop %d cause = %v, want %v", tc.name, i, got.LoopCauses[i], want.LoopCauses[i])
+			}
+		}
+		for i := range want.CycleCauses {
+			if got.CycleCauses[i] != want.CycleCauses[i] {
+				t.Errorf("%s: cycle %d cause = %v, want %v", tc.name, i, got.CycleCauses[i], want.CycleCauses[i])
+			}
+		}
+	}
+}
+
+func TestClassifyPairNilParis(t *testing.T) {
+	classic := mkRoute(1, 2, 2, 3)
+	pc := ClassifyPair(classic, nil)
+	if len(pc.Loops) != 1 || pc.LoopCauses[0] != CausePerPacketLB {
+		t.Errorf("nil paris: %+v — differencing must not fire, residual per-packet", pc)
+	}
+	if pc.ParisOnly != 0 {
+		t.Errorf("nil paris counted %d paris-only loops", pc.ParisOnly)
+	}
+}
+
+// TestGraphAddIdempotent pins the incremental-dedup contract streaming
+// accumulators rely on: re-adding a route whose edges are present must not
+// change Succ, Triples, or the diamond set.
+func TestGraphAddIdempotent(t *testing.T) {
+	g := NewGraph(dst)
+	g.Add(mkRoute(1, 2, 4))
+	g.Add(mkRoute(1, 3, 4))
+	succ, triples, diamonds := len(g.Succ), len(g.Triples), len(g.Diamonds())
+	mids := len(g.Triples[[2]netip.Addr{addr(1), addr(4)}])
+	g.Add(mkRoute(1, 2, 4))
+	g.Add(mkRoute(1, 3, 4))
+	if len(g.Succ) != succ || len(g.Triples) != triples || len(g.Diamonds()) != diamonds ||
+		len(g.Triples[[2]netip.Addr{addr(1), addr(4)}]) != mids {
+		t.Errorf("re-adding present routes changed the graph: succ %d->%d triples %d->%d diamonds %d->%d",
+			succ, len(g.Succ), triples, len(g.Triples), diamonds, len(g.Diamonds()))
+	}
+	if g.Routes != 4 {
+		t.Errorf("Routes = %d, want 4 (the counter still advances)", g.Routes)
+	}
+	if diamonds != 1 || mids != 2 {
+		t.Fatalf("test shape degenerate: diamonds=%d mids=%d", diamonds, mids)
+	}
+}

@@ -83,6 +83,23 @@ const maxIPIDGap = 1024
 // paris may be nil when no paired trace exists; differencing then cannot
 // fire and residual load-balancing loops classify as per-packet.
 func ClassifyLoop(l Loop, route, paris *tracer.Route) Cause {
+	if paris == nil {
+		return classifyLoop(l, route, nil, false)
+	}
+	return classifyLoop(l, route, FindLoops(paris), true)
+}
+
+// ClassifyLoopDetected is ClassifyLoop with the paired Paris detection
+// already in hand: streaming accumulators memoize FindLoops per interned
+// route and classify many instances against one detection pass. It is also
+// how the accumulator re-evaluates a zero-TTL candidate against the
+// current round's route: the rule's IP ID coherence check is the one loop
+// observable that changes between exchanges of one path.
+func ClassifyLoopDetected(l Loop, route *tracer.Route, parisLoops []Loop, hasParis bool) Cause {
+	return classifyLoop(l, route, parisLoops, hasParis)
+}
+
+func classifyLoop(l Loop, route *tracer.Route, parisLoops []Loop, hasParis bool) Cause {
 	hops := route.Hops
 	first := hops[l.Start]
 	second := hops[l.Start+1]
@@ -113,10 +130,20 @@ func ClassifyLoop(l Loop, route, paris *tracer.Route) Cause {
 
 	// Per-flow load balancing: gone when the flow identifier is held
 	// constant.
-	if paris != nil && !routeHasLoopOn(paris, l) {
+	if hasParis && !loopsContain(parisLoops, l.Addr) {
 		return CausePerFlowLB
 	}
 	return CausePerPacketLB
+}
+
+// loopsContain reports whether any detected loop runs on addr.
+func loopsContain(loops []Loop, addr netip.Addr) bool {
+	for _, x := range loops {
+		if x.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // respTTLDecreasing reports whether response TTLs strictly decrease across
@@ -133,17 +160,6 @@ func respTTLDecreasing(hops []tracer.Hop) bool {
 	return true
 }
 
-// routeHasLoopOn reports whether rt contains a loop with the same signature
-// (address and destination) as l.
-func routeHasLoopOn(rt *tracer.Route, l Loop) bool {
-	for _, x := range FindLoops(rt) {
-		if x.Addr == l.Addr {
-			return true
-		}
-	}
-	return false
-}
-
 // ClassifyCycle attributes a cycle to a cause:
 //
 //  1. unreachability: the second appearance is an !H/!N response ending
@@ -155,6 +171,20 @@ func routeHasLoopOn(rt *tracer.Route, l Loop) bool {
 //     Paris measurement;
 //  4. residual: per-packet load balancing or spoofed addresses.
 func ClassifyCycle(c Cycle, route, paris *tracer.Route) Cause {
+	if paris == nil {
+		return classifyCycle(c, route, nil, false)
+	}
+	return classifyCycle(c, route, FindCycles(paris), true)
+}
+
+// ClassifyCycleDetected is ClassifyCycle with the paired Paris detection
+// already in hand (see ClassifyLoopDetected); periodic cycles re-evaluate
+// their IP ID coherence against each round's route through it.
+func ClassifyCycleDetected(c Cycle, route *tracer.Route, parisCycles []Cycle, hasParis bool) Cause {
+	return classifyCycle(c, route, parisCycles, hasParis)
+}
+
+func classifyCycle(c Cycle, route *tracer.Route, parisCycles []Cycle, hasParis bool) Cause {
 	hops := route.Hops
 
 	// Unreachability: some appearance of the cycling address (typically
@@ -173,10 +203,20 @@ func ClassifyCycle(c Cycle, route, paris *tracer.Route) Cause {
 		return CauseForwardingLoop
 	}
 
-	if paris != nil && !routeHasCycleOn(paris, c) {
+	if hasParis && !cyclesContain(parisCycles, c.Addr) {
 		return CausePerFlowLB
 	}
 	return CausePerPacketLB
+}
+
+// cyclesContain reports whether any detected cycle runs on addr.
+func cyclesContain(cycles []Cycle, addr netip.Addr) bool {
+	for _, x := range cycles {
+		if x.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // cycleIPIDsCoherent checks that successive appearances of the cycling
@@ -198,14 +238,86 @@ func cycleIPIDsCoherent(hops []tracer.Hop, c Cycle) bool {
 	return prev != nil
 }
 
-// routeHasCycleOn reports whether rt contains a cycle on the same address.
-func routeHasCycleOn(rt *tracer.Route, c Cycle) bool {
-	for _, x := range FindCycles(rt) {
-		if x.Addr == c.Addr {
-			return true
+// LoopConsultsIPID reports whether classifying l on routes along this path
+// reads the response IP IDs: only the zero-TTL rule does, and only when
+// the loop opens with the quoted-TTL 0-then-1 pattern (Fig. 4). The
+// pattern is a path property, so accumulators evaluate it once per
+// interned route; loops without it classify identically whatever the IP
+// IDs and their memoized cause is reusable, while loops with it re-run
+// ClassifyLoopDetected against each round's route.
+func LoopConsultsIPID(l Loop, route *tracer.Route) bool {
+	hops := route.Hops
+	return hops[l.Start].ProbeTTL == 0 && hops[l.Start+1].ProbeTTL == 1
+}
+
+// CycleConsultsIPID reports whether classifying c reads the response IP
+// IDs: only periodic cycles check counter coherence (Section 4.2.1).
+func CycleConsultsIPID(c Cycle) bool { return c.Period > 0 }
+
+// PairClass is the full classification of one paired measurement: every
+// classic loop and cycle instance with its attributed cause (indexes line up
+// with Loops and Cycles), plus the count of Paris-only loops — loops the
+// Paris trace saw on an address that loops nowhere in the paired classic
+// route (Section 4.1.2's 0.25% residue).
+type PairClass struct {
+	Loops       []Loop
+	LoopCauses  []Cause
+	Cycles      []Cycle
+	CycleCauses []Cause
+	ParisOnly   int
+}
+
+// ClassifyPair detects and classifies every anomaly of a paired
+// classic/Paris measurement in one call. paris may be nil (see
+// ClassifyLoop).
+func ClassifyPair(classic, paris *tracer.Route) PairClass {
+	var parisLoops []Loop
+	var parisCycles []Cycle
+	if paris != nil {
+		parisLoops = FindLoops(paris)
+		parisCycles = FindCycles(paris)
+	}
+	return ClassifyPairDetected(FindLoops(classic), FindCycles(classic),
+		parisLoops, parisCycles, classic, paris != nil)
+}
+
+// ClassifyPairDetected is ClassifyPair with all four detection passes
+// already run — the streaming accumulator's entry point, which memoizes
+// FindLoops/FindCycles per interned route and re-classifies only when one
+// side of the pair actually changed. Each detection pass is consulted once:
+// Paris-only matching builds the classic loop-address set a single time
+// instead of rescanning the classic loops per Paris instance.
+func ClassifyPairDetected(loops []Loop, cycles []Cycle, parisLoops []Loop, parisCycles []Cycle, classic *tracer.Route, hasParis bool) PairClass {
+	pc := PairClass{Loops: loops, Cycles: cycles}
+	if len(loops) > 0 {
+		pc.LoopCauses = make([]Cause, len(loops))
+		for i, l := range loops {
+			pc.LoopCauses[i] = classifyLoop(l, classic, parisLoops, hasParis)
 		}
 	}
-	return false
+	if len(cycles) > 0 {
+		pc.CycleCauses = make([]Cause, len(cycles))
+		for i, c := range cycles {
+			pc.CycleCauses[i] = classifyCycle(c, classic, parisCycles, hasParis)
+		}
+	}
+	if len(parisLoops) > 0 {
+		// Set-built-once Paris-only matching: O(classic + paris) instead
+		// of the nested O(classic × paris) rescan.
+		var inClassic map[netip.Addr]bool
+		if len(loops) > 0 {
+			inClassic = make(map[netip.Addr]bool, len(loops))
+			for _, l := range loops {
+				inClassic[l.Addr] = true
+			}
+		}
+		for _, l := range parisLoops {
+			if !inClassic[l.Addr] {
+				pc.ParisOnly++
+			}
+		}
+	}
+	return pc
 }
 
 // ClassifyDiamond attributes a diamond found in the classic per-destination

@@ -2,6 +2,38 @@
 // (Section 3): paired classic/Paris traceroutes from one source toward a
 // destination list, run by parallel workers over repeated rounds, followed
 // by the anomaly statistics of Section 4.
+//
+// # Streaming contract
+//
+// With Config.Stream set, the campaign computes its statistics while it
+// probes instead of materializing every Pair: each worker owns one
+// Accumulator and folds every pair it measures the moment the pair
+// completes. Ownership does the synchronization — the worker plan is fixed
+// for the campaign's lifetime, so all of a destination's pairs flow
+// through the one worker that owns the destination, in round order, and no
+// accumulator (nor any per-destination state inside it) is ever touched by
+// two goroutines. The partials meet exactly once, in Merge after the last
+// round, on the caller's goroutine (the per-round WaitGroup provides the
+// happens-before edge).
+//
+// Inside an accumulator, interning exploits round-over-round route
+// stability: each destination's distinct routes are keyed by
+// tracer.Route.Fingerprint and verified with Route.Equal against the
+// canonical interned object, so a fingerprint collision can only cost
+// speed, never correctness. Per-route work (loop/cycle detection, response
+// tallies, diamond-graph contribution) is memoized on the interned route;
+// classic-vs-Paris classification is memoized per fingerprint pair.
+// Interning equality ignores per-exchange quantities (RTTs and response IP
+// IDs, which differ every round even on a stable path); the two
+// classification rules that consult IP IDs are gated on path-stable
+// patterns and re-evaluated against each round's route, keeping the
+// statistics byte-identical. A stable path therefore costs zero anomaly
+// work per round, and campaign memory is O(destinations + unique routes)
+// — independent of the round count — where materialized results grow
+// O(destinations × rounds).
+//
+// Streaming and materialize-then-Analyze produce byte-identical Stats (one
+// implementation, pinned by TestCampaignStreamInvariance).
 package measure
 
 import (
@@ -54,6 +86,14 @@ type Config struct {
 	// BatchWindow overrides the TTL-window per batch (0: tracer
 	// default). Ignored unless Batch is set.
 	BatchWindow int
+	// Stream folds each completed pair into a per-worker Accumulator the
+	// moment it is measured instead of retaining it; Run then merges the
+	// workers' partials once at campaign end and returns them in
+	// Results.Stats, leaving Results.Rounds nil. Campaign memory becomes
+	// O(destinations + unique routes), independent of the round count,
+	// with statistics byte-identical to Analyze over retained results
+	// (see the package comment's streaming contract). Off by default.
+	Stream bool
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -86,12 +126,19 @@ type Pair struct {
 	Classic *tracer.Route
 }
 
-// Results collects every pair of a campaign, grouped by round.
+// Results collects a campaign's output. Without Config.Stream, Rounds
+// holds every measured pair; with it, pairs are folded into per-worker
+// accumulators as they complete and never retained, so Rounds stays nil
+// and Stats carries the merged statistics.
 type Results struct {
 	Config Config
 	// Rounds[r] lists the pairs measured in round r, one per
-	// destination.
+	// destination. Nil when the campaign streamed.
 	Rounds [][]Pair
+	// Stats is the streaming campaign's output: identical to Analyze
+	// over the same pairs had they been retained. Nil when the campaign
+	// materialized (run Analyze on Rounds instead).
+	Stats *Stats
 }
 
 // Campaign runs the full study over the given transport. Its workers share
@@ -114,19 +161,40 @@ type Campaign struct {
 	// no overshoot. Indexed by destination; each slot is owned by the
 	// single worker whose plan covers it.
 	parisHint, clasHint []int
+	// parisSrc and parisDst are each destination's Paris flow ports,
+	// derived once at construction time alongside the worker plan — they
+	// are a pure function of (PortSeed, destination), so deriving them
+	// per pair per round was wasted work. Only the classic tracer's
+	// per-(round, destination) pseudo-PID source port stays per-round.
+	parisSrc, parisDst []uint16
 }
 
-// NewCampaign creates a campaign; cfg.Dests must be non-empty.
+// NewCampaign creates a campaign; cfg.Dests must be non-empty and free of
+// duplicates (statistics are per destination — the accumulators and the
+// worker plan both assume one owner per address).
 func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Dests) == 0 {
 		return nil, fmt.Errorf("measure: empty destination list")
+	}
+	seen := make(map[netip.Addr]bool, len(cfg.Dests))
+	for _, d := range cfg.Dests {
+		if seen[d] {
+			return nil, fmt.Errorf("measure: duplicate destination %v", d)
+		}
+		seen[d] = true
 	}
 	c := &Campaign{cfg: cfg, tp: tp, base: tracer.Options{
 		MinTTL:              cfg.MinTTL,
 		MaxTTL:              cfg.MaxTTL,
 		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
 	}, plan: workerPlan(cfg)}
+	c.parisSrc = make([]uint16, len(cfg.Dests))
+	c.parisDst = make([]uint16, len(cfg.Dests))
+	for i, d := range cfg.Dests {
+		c.parisSrc[i] = portFor(cfg.PortSeed, d, 0x517e)
+		c.parisDst[i] = portFor(cfg.PortSeed, d, 0xd057)
+	}
 	if cfg.Batch {
 		c.base.Batch = true
 		c.base.BatchWindow = cfg.BatchWindow
@@ -214,18 +282,33 @@ func portFor(seed int64, dest netip.Addr, salt uint64) uint16 {
 	return uint16(10000 + x%50000)
 }
 
-// Run executes every round and returns the collected results.
+// Run executes every round and returns the collected results: the retained
+// pairs, or, with Config.Stream, the merged statistics of per-worker
+// accumulators that consumed each pair as it completed. Run may be called
+// repeatedly; a streaming run starts from fresh accumulators each time.
 func (c *Campaign) Run() (*Results, error) {
 	res := &Results{Config: c.cfg}
+	var accs []*Accumulator
+	if c.cfg.Stream {
+		accs = make([]*Accumulator, c.cfg.Workers)
+		for w := range accs {
+			accs[w] = NewAccumulator()
+		}
+	}
 	for r := 0; r < c.cfg.Rounds; r++ {
 		if c.cfg.RoundStart != nil {
 			c.cfg.RoundStart(r)
 		}
-		pairs, err := c.runRound(r)
+		pairs, err := c.runRound(r, accs)
 		if err != nil {
 			return nil, err
 		}
-		res.Rounds = append(res.Rounds, pairs)
+		if !c.cfg.Stream {
+			res.Rounds = append(res.Rounds, pairs)
+		}
+	}
+	if c.cfg.Stream {
+		res.Stats = Merge(c.cfg.Rounds, len(c.cfg.Dests), accs...)
 	}
 	return res, nil
 }
@@ -233,12 +316,18 @@ func (c *Campaign) Run() (*Results, error) {
 // runRound measures every destination once with Workers parallel workers,
 // each holding its planned share of the list (the paper's 32 processes each
 // probe 1/32 of the destinations; sharded campaigns use shard-affine
-// shares). The first error any worker hits aborts the whole round: a done
-// channel closed under a sync.Once stops the remaining workers at their
-// next destination instead of letting them probe out their slices silently.
-func (c *Campaign) runRound(round int) ([]Pair, error) {
+// shares). With accs non-nil (streaming), worker w folds each pair into
+// accs[w] the moment it completes and nothing is retained; otherwise the
+// pairs are collected into a slice. The first error any worker hits aborts
+// the whole round: a done channel closed under a sync.Once stops the
+// remaining workers at their next destination instead of letting them probe
+// out their slices silently.
+func (c *Campaign) runRound(round int, accs []*Accumulator) ([]Pair, error) {
 	dests := c.cfg.Dests
-	out := make([]Pair, len(dests))
+	var out []Pair
+	if accs == nil {
+		out = make([]Pair, len(dests))
+	}
 	var (
 		wg       sync.WaitGroup
 		stopOnce sync.Once
@@ -266,7 +355,11 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 					})
 					return
 				}
-				out[i] = p
+				if accs != nil {
+					accs[w].Fold(&p)
+				} else {
+					out[i] = p
+				}
 			}
 		}(w, c.plan[w])
 	}
@@ -285,8 +378,8 @@ func (c *Campaign) runRound(round int) ([]Pair, error) {
 // length.
 func (c *Campaign) measureOne(w, round, idx int, d netip.Addr) (Pair, error) {
 	parisOpts := c.base
-	parisOpts.SrcPort = portFor(c.cfg.PortSeed, d, 0x517e)
-	parisOpts.DstPort = portFor(c.cfg.PortSeed, d, 0xd057)
+	parisOpts.SrcPort = c.parisSrc[idx]
+	parisOpts.DstPort = c.parisDst[idx]
 	if c.cfg.Batch {
 		parisOpts.Scratch = c.scratch[w]
 		parisOpts.PathHint = c.parisHint[idx]

@@ -251,3 +251,11 @@ func TestCausePct(t *testing.T) {
 		t.Errorf("empty map: %v", got)
 	}
 }
+
+func TestCampaignDuplicateDestsRejected(t *testing.T) {
+	sc := smallScenario(t, 10)
+	dests := append(append([]netip.Addr{}, sc.Dests...), sc.Dests[0])
+	if _, err := NewCampaign(netsim.NewTransport(sc.Net), Config{Dests: dests}); err == nil {
+		t.Error("duplicate destination accepted: per-destination statistics assume one owner per address")
+	}
+}

@@ -2,6 +2,8 @@ package measure
 
 import (
 	"net/netip"
+	"runtime"
+	"sync"
 
 	"repro/internal/anomaly"
 )
@@ -65,182 +67,107 @@ type DiamondStats struct {
 
 // Stats bundles every Section 4 aggregate plus trace bookkeeping.
 type Stats struct {
-	Rounds       int
-	Dests        int
-	Routes       int // classic measured routes (Dests × Rounds)
-	Responses    int // responding probes across both tracers
-	MidStars     int // stars amid responses (paper: 2.6 million)
-	AddrsSeen    int // distinct addresses discovered
-	ReachedPct   float64
-	Loops        LoopStats
-	Cycles       CycleStats
-	Diamonds     DiamondStats
-	AllAddresses []netip.Addr // distinct responder addresses (for AS coverage)
+	Rounds     int
+	Dests      int
+	Routes     int // classic measured routes (Dests × Rounds)
+	Responses  int // responding probes across both tracers
+	MidStars   int // stars amid responses (paper: 2.6 million)
+	AddrsSeen  int // distinct addresses discovered
+	ReachedPct float64
+	Loops      LoopStats
+	Cycles     CycleStats
+	Diamonds   DiamondStats
+	// AllAddresses lists the distinct responder addresses in ascending
+	// order (Merge sorts them), so reports and AS-coverage output are
+	// reproducible run to run.
+	AllAddresses []netip.Addr
 }
 
-// Analyze computes the paper's statistics over campaign results.
+// Analyze computes the paper's statistics over retained campaign results.
+// It feeds every pair through the same streaming Accumulator a Config.
+// Stream campaign uses and merges the partials, so retained-results and
+// streaming callers get identical Stats from one implementation
+// (TestCampaignStreamInvariance pins this). Campaign-shaped results —
+// every round listing the same destination in the same column, which is
+// what Campaign.Run produces — are accumulated in parallel across
+// destination chunks; Merge makes the outcome independent of the chunking.
 func Analyze(res *Results) *Stats {
-	s := &Stats{
-		Rounds: len(res.Rounds),
-		Dests:  len(res.Config.Dests),
-		Loops:  LoopStats{ByCause: make(map[anomaly.Cause]int)},
-		Cycles: CycleStats{ByCause: make(map[anomaly.Cause]int)},
-	}
-
-	addrs := make(map[netip.Addr]bool)
-	loopAddrs := make(map[netip.Addr]bool)
-	cycleAddrs := make(map[netip.Addr]bool)
-	loopDests := make(map[netip.Addr]bool)
-	cycleDests := make(map[netip.Addr]bool)
-	loopSigRounds := make(map[anomaly.Signature]map[int]bool)
-	cycleSigRounds := make(map[anomaly.Signature]map[int]bool)
-	classicGraphs := make(map[netip.Addr]*anomaly.Graph)
-	parisGraphs := make(map[netip.Addr]*anomaly.Graph)
-	reached := 0
-
-	for round, pairs := range res.Rounds {
-		for _, p := range pairs {
-			s.Routes++
-			if p.Classic.Reached() {
-				reached++
-			}
-			// Bookkeeping over both traces. Stars count as "mid" only
-			// when a response follows later in the route — trailing
-			// stars are the normal end-of-trace pattern (Section 3).
-			lastResp := -1
-			for i, h := range p.Classic.Hops {
-				if !h.Star() {
-					lastResp = i
-					s.Responses++
-					addrs[h.Addr] = true
-				}
-			}
-			for i, h := range p.Classic.Hops {
-				if h.Star() && i < lastResp {
-					s.MidStars++
-				}
-			}
-			for _, h := range p.Paris.Hops {
-				if !h.Star() {
-					s.Responses++
-					addrs[h.Addr] = true
-				}
-			}
-
-			// Loops (classic, classified against the paired Paris).
-			loops := anomaly.FindLoops(p.Classic)
-			if len(loops) > 0 {
-				s.Loops.RoutesWithLoop++
-				loopDests[p.Dest] = true
-			}
-			for _, l := range loops {
-				s.Loops.Instances++
-				loopAddrs[l.Addr] = true
-				cause := anomaly.ClassifyLoop(l, p.Classic, p.Paris)
-				s.Loops.ByCause[cause]++
-				sig := l.Signature()
-				if loopSigRounds[sig] == nil {
-					loopSigRounds[sig] = make(map[int]bool)
-				}
-				loopSigRounds[sig][round] = true
-			}
-			// Paris-only loops.
-			for _, l := range anomaly.FindLoops(p.Paris) {
-				found := false
-				for _, cl := range loops {
-					if cl.Addr == l.Addr {
-						found = true
-						break
+	rounds, dests := len(res.Rounds), len(res.Config.Dests)
+	if n, shaped := campaignShaped(res); shaped {
+		if p := analyzeParallelism(n); p > 1 {
+			accs := make([]*Accumulator, p)
+			var wg sync.WaitGroup
+			for g := range accs {
+				accs[g] = NewAccumulator()
+				lo, hi := g*n/p, (g+1)*n/p
+				wg.Add(1)
+				go func(a *Accumulator, lo, hi int) {
+					defer wg.Done()
+					for r := range res.Rounds {
+						pairs := res.Rounds[r]
+						for i := lo; i < hi; i++ {
+							a.foldAt(&pairs[i], r)
+						}
 					}
-				}
-				if !found {
-					s.Loops.ParisOnly++
-				}
+				}(accs[g], lo, hi)
 			}
-
-			// Cycles.
-			cycles := anomaly.FindCycles(p.Classic)
-			if len(cycles) > 0 {
-				s.Cycles.RoutesWithCycle++
-				cycleDests[p.Dest] = true
-			}
-			for _, c := range cycles {
-				s.Cycles.Instances++
-				cycleAddrs[c.Addr] = true
-				cause := anomaly.ClassifyCycle(c, p.Classic, p.Paris)
-				s.Cycles.ByCause[cause]++
-				sig := c.Signature()
-				if cycleSigRounds[sig] == nil {
-					cycleSigRounds[sig] = make(map[int]bool)
-				}
-				cycleSigRounds[sig][round] = true
-			}
-
-			// Per-destination graphs for the diamond study.
-			cg := classicGraphs[p.Dest]
-			if cg == nil {
-				cg = anomaly.NewGraph(p.Dest)
-				classicGraphs[p.Dest] = cg
-			}
-			cg.Add(p.Classic)
-			pg := parisGraphs[p.Dest]
-			if pg == nil {
-				pg = anomaly.NewGraph(p.Dest)
-				parisGraphs[p.Dest] = pg
-			}
-			pg.Add(p.Paris)
+			wg.Wait()
+			return Merge(rounds, dests, accs...)
 		}
 	}
-
-	s.AddrsSeen = len(addrs)
-	for a := range addrs {
-		s.AllAddresses = append(s.AllAddresses, a)
-	}
-	if s.Routes > 0 {
-		s.ReachedPct = pct(reached, s.Routes)
-	}
-
-	s.Loops.DestsWithLoop = len(loopDests)
-	s.Loops.AddrsInLoop = len(loopAddrs)
-	s.Loops.Signatures = len(loopSigRounds)
-	for _, rounds := range loopSigRounds {
-		if len(rounds) == 1 {
-			s.Loops.OneRoundSignatures++
+	a := NewAccumulator()
+	for r := range res.Rounds {
+		for i := range res.Rounds[r] {
+			a.foldAt(&res.Rounds[r][i], r)
 		}
 	}
+	return Merge(rounds, dests, a)
+}
 
-	s.Cycles.DestsWithCycle = len(cycleDests)
-	s.Cycles.AddrsInCycle = len(cycleAddrs)
-	s.Cycles.Signatures = len(cycleSigRounds)
-	totalRounds := 0
-	for _, rounds := range cycleSigRounds {
-		if len(rounds) == 1 {
-			s.Cycles.OneRoundSignatures++
-		}
-		totalRounds += len(rounds)
+// campaignShaped reports whether every round lists the same destination in
+// the same column, with no destination in two columns. Only then may
+// Analyze chunk columns across goroutines while keeping each destination's
+// pairs in one accumulator in round order (the Fold contract); hand-built
+// Results with other layouts — including duplicated destinations, which
+// the address-keyed serial accumulator still merges correctly — take the
+// serial path.
+func campaignShaped(res *Results) (int, bool) {
+	if len(res.Rounds) == 0 {
+		return 0, false
 	}
-	if len(cycleSigRounds) > 0 {
-		s.Cycles.MeanRoundsPerSignature = float64(totalRounds) / float64(len(cycleSigRounds))
-	}
-
-	for dest, cg := range classicGraphs {
-		ds := cg.Diamonds()
-		if len(ds) > 0 {
-			s.Diamonds.DestsWithDiamond++
+	first := res.Rounds[0]
+	seen := make(map[netip.Addr]bool, len(first))
+	for i := range first {
+		if seen[first[i].Dest] {
+			return 0, false
 		}
-		s.Diamonds.Total += len(ds)
-		pg := parisGraphs[dest]
-		for _, d := range ds {
-			if anomaly.ClassifyDiamond(d, pg) == anomaly.CausePerFlowLB {
-				s.Diamonds.PerFlow++
+		seen[first[i].Dest] = true
+	}
+	for _, pairs := range res.Rounds[1:] {
+		if len(pairs) != len(first) {
+			return 0, false
+		}
+		for i := range pairs {
+			if pairs[i].Dest != first[i].Dest {
+				return 0, false
 			}
 		}
-		if pg != nil {
-			s.Diamonds.ParisTotal += len(pg.Diamonds())
-		}
 	}
+	return len(first), true
+}
 
-	return s
+// analyzeParallelism sizes the accumulator fan-out: one chunk per core,
+// but never chunks smaller than 64 destinations (goroutine and merge
+// overhead would beat the win on small studies).
+func analyzeParallelism(dests int) int {
+	p := runtime.GOMAXPROCS(0)
+	if chunks := (dests + 63) / 64; p > chunks {
+		p = chunks
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // pct returns 100*a/b.

@@ -1,0 +1,382 @@
+package measure
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/tracer"
+)
+
+// This file is the streaming statistics engine: an Accumulator folds
+// completed pairs into partial Section 4 statistics the moment they are
+// measured, so a campaign never has to retain its routes. Memory is
+// O(destinations + unique routes) — independent of the round count — where
+// the old materialize-then-Analyze pipeline held every Pair of every round
+// (O(destinations × rounds)).
+//
+// The accumulator exploits round-over-round route stability by interning:
+// each destination keeps its distinct routes keyed by tracer.Route
+// fingerprint (verified with Route.Equal against the canonical object, so a
+// 64-bit collision can only cost speed, never correctness), and every
+// interned route memoizes the work that depends on it alone — loop/cycle
+// detection, response and mid-star tallies, reachability, its diamond-graph
+// contribution. Classification, which differences the classic route against
+// its paired Paris route, is memoized per (classic, paris) fingerprint
+// combination. A stable path therefore costs two fingerprints, two equality
+// checks and a handful of counter increments per round — zero anomaly work.
+//
+// Fingerprints and equality deliberately ignore RTTs and response IP IDs:
+// both change on every exchange even when the path did not (each
+// responder's IP ID counter advances per reply), and keying on them would
+// make every round's route "unique", degrading memory right back to
+// O(destinations × rounds). The only two classification rules that read IP
+// IDs — the zero-TTL loop check and periodic-cycle counter coherence — are
+// gated on path-stable patterns (quoted-TTL 0-then-1, periodicity), so
+// Fold re-evaluates exactly those instances against the current round's
+// route and reuses the memoized cause everywhere else.
+
+// routeMemo is one interned measured route: the canonical *tracer.Route for
+// its fingerprint plus everything the statistics need from that route
+// alone, computed once when first seen. Reusing the memo also reuses the
+// interned object — the new round's identical Route is dropped instead of
+// retained.
+type routeMemo struct {
+	rt        *tracer.Route
+	loops     []anomaly.Loop
+	cycles    []anomaly.Cycle
+	responses int
+	midStars  int
+	reached   bool
+}
+
+// pairKey identifies a (classic, paris) route combination by the two
+// fingerprints. It is only consulted after both routes interned cleanly, so
+// within one destination the fingerprints identify the routes uniquely.
+type pairKey struct{ classic, paris uint64 }
+
+// pairMemo is the memoized cross-route classification for one pairKey; the
+// cause slices line up with the classic memo's loops and cycles.
+type pairMemo struct {
+	loopCauses  []anomaly.Cause
+	cycleCauses []anomaly.Cause
+	parisOnly   int
+}
+
+// sigSpan tracks one anomaly signature's observation rounds. Pairs for a
+// destination arrive in nondecreasing round order (the accumulator
+// contract), so counting distinct rounds needs only the last round seen.
+type sigSpan struct {
+	lastRound int
+	rounds    int
+}
+
+// destState is everything the accumulator keeps per destination: the
+// interned routes and pair classifications, the incrementally grown diamond
+// graphs, and the signature spans. Signatures are (address, destination)
+// pairs, so keying the span maps by address alone loses nothing.
+type destState struct {
+	classic, paris           map[uint64]*routeMemo
+	pairs                    map[pairKey]*pairMemo
+	classicGraph, parisGraph *anomaly.Graph
+	loopSigs, cycleSigs      map[netip.Addr]*sigSpan
+	sawLoop, sawCycle        bool
+}
+
+func newDestState(dest netip.Addr) *destState {
+	return &destState{
+		classic:      make(map[uint64]*routeMemo),
+		paris:        make(map[uint64]*routeMemo),
+		pairs:        make(map[pairKey]*pairMemo),
+		classicGraph: anomaly.NewGraph(dest),
+		parisGraph:   anomaly.NewGraph(dest),
+		loopSigs:     make(map[netip.Addr]*sigSpan),
+		cycleSigs:    make(map[netip.Addr]*sigSpan),
+	}
+}
+
+// note records one observation of a signature in a round; repeated
+// instances in the same round collapse, matching the per-round signature
+// sets Analyze historically kept.
+func note(sigs map[netip.Addr]*sigSpan, addr netip.Addr, round int) {
+	sp := sigs[addr]
+	if sp == nil {
+		sigs[addr] = &sigSpan{lastRound: round, rounds: 1}
+		return
+	}
+	if sp.lastRound != round {
+		sp.lastRound = round
+		sp.rounds++
+	}
+}
+
+// Accumulator folds completed pairs into partial campaign statistics. It is
+// not safe for concurrent use: a streaming campaign gives each worker its
+// own Accumulator, every destination's pairs flow through the single worker
+// that owns it (in round order), and the partials meet only in Merge after
+// the last round. Analyze partitions retained results the same way.
+type Accumulator struct {
+	routes, reached, responses, midStars int
+
+	routesWithLoop, loopInstances, parisOnly int
+	routesWithCycle, cycleInstances          int
+	loopByCause, cycleByCause                map[anomaly.Cause]int
+
+	addrs, loopAddrs, cycleAddrs map[netip.Addr]bool
+
+	dests map[netip.Addr]*destState
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		loopByCause:  make(map[anomaly.Cause]int),
+		cycleByCause: make(map[anomaly.Cause]int),
+		addrs:        make(map[netip.Addr]bool),
+		loopAddrs:    make(map[netip.Addr]bool),
+		cycleAddrs:   make(map[netip.Addr]bool),
+		dests:        make(map[netip.Addr]*destState),
+	}
+}
+
+// analyzeRoute computes one route's memo from scratch: detection, response
+// and mid-star tallies (mid-stars are a classic-route statistic), address
+// bookkeeping, and the route's diamond-graph contribution.
+func (a *Accumulator) analyzeRoute(rt *tracer.Route, classic bool, ds *destState) routeMemo {
+	mo := routeMemo{
+		rt:      rt,
+		loops:   anomaly.FindLoops(rt),
+		cycles:  anomaly.FindCycles(rt),
+		reached: rt.Reached(),
+	}
+	lastResp := -1
+	for i, h := range rt.Hops {
+		if !h.Star() {
+			lastResp = i
+			mo.responses++
+			a.addrs[h.Addr] = true
+		}
+	}
+	if classic {
+		// Stars count as "mid" only when a response follows later in the
+		// route — trailing stars are the normal end-of-trace pattern
+		// (Section 3).
+		for i, h := range rt.Hops {
+			if h.Star() && i < lastResp {
+				mo.midStars++
+			}
+		}
+		ds.classicGraph.Add(rt)
+	} else {
+		ds.parisGraph.Add(rt)
+	}
+	return mo
+}
+
+// intern returns the destination's memo for rt, creating it on first sight.
+// It returns nil on a fingerprint collision (fingerprint present, contents
+// unequal); the caller then computes the pair without memoization — every
+// side effect of analyzeRoute is idempotent, so correctness is unaffected.
+func (a *Accumulator) intern(m map[uint64]*routeMemo, rt *tracer.Route, fp uint64, classic bool, ds *destState) *routeMemo {
+	if mo := m[fp]; mo != nil {
+		if mo.rt.Equal(rt) {
+			return mo
+		}
+		return nil
+	}
+	mo := new(routeMemo)
+	*mo = a.analyzeRoute(rt, classic, ds)
+	m[fp] = mo
+	return mo
+}
+
+// Fold merges one completed pair into the partial statistics, attributing
+// it to round p.Round. Pairs for one destination must all be folded into
+// the same Accumulator in nondecreasing round order; pairs for different
+// destinations may interleave arbitrarily.
+func (a *Accumulator) Fold(p *Pair) { a.foldAt(p, p.Round) }
+
+// foldAt is Fold with the round attribution explicit: Analyze passes the
+// round slice index, so hand-built Results are counted the way they always
+// were even when the Pair.Round fields were never populated.
+func (a *Accumulator) foldAt(p *Pair, round int) {
+	ds := a.dests[p.Dest]
+	if ds == nil {
+		ds = newDestState(p.Dest)
+		a.dests[p.Dest] = ds
+	}
+
+	cfp := p.Classic.Fingerprint()
+	pfp := p.Paris.Fingerprint()
+	cm := a.intern(ds.classic, p.Classic, cfp, true, ds)
+	pm := a.intern(ds.paris, p.Paris, pfp, false, ds)
+	memoable := cm != nil && pm != nil
+	var cs, ps routeMemo
+	if cm == nil {
+		cs = a.analyzeRoute(p.Classic, true, ds)
+		cm = &cs
+	}
+	if pm == nil {
+		ps = a.analyzeRoute(p.Paris, false, ds)
+		pm = &ps
+	}
+
+	var causes *pairMemo
+	if memoable {
+		causes = ds.pairs[pairKey{classic: cfp, paris: pfp}]
+	}
+	if causes == nil {
+		pc := anomaly.ClassifyPairDetected(cm.loops, cm.cycles, pm.loops, pm.cycles, cm.rt, true)
+		causes = &pairMemo{loopCauses: pc.LoopCauses, cycleCauses: pc.CycleCauses, parisOnly: pc.ParisOnly}
+		if memoable {
+			ds.pairs[pairKey{classic: cfp, paris: pfp}] = causes
+		}
+	}
+
+	a.routes++
+	if cm.reached {
+		a.reached++
+	}
+	a.responses += cm.responses + pm.responses
+	a.midStars += cm.midStars
+
+	if len(cm.loops) > 0 {
+		a.routesWithLoop++
+		ds.sawLoop = true
+	}
+	for i, l := range cm.loops {
+		a.loopInstances++
+		a.loopAddrs[l.Addr] = true
+		cause := causes.loopCauses[i]
+		if anomaly.LoopConsultsIPID(l, cm.rt) {
+			// The zero-TTL rule reads IP IDs, the one loop observable
+			// excluded from interning equality; re-evaluate against this
+			// round's route. The quoted-TTL pattern gating this is rare,
+			// so stable paths still skip all classification work.
+			cause = anomaly.ClassifyLoopDetected(l, p.Classic, pm.loops, true)
+		}
+		a.loopByCause[cause]++
+		note(ds.loopSigs, l.Addr, round)
+	}
+	a.parisOnly += causes.parisOnly
+
+	if len(cm.cycles) > 0 {
+		a.routesWithCycle++
+		ds.sawCycle = true
+	}
+	for i, c := range cm.cycles {
+		a.cycleInstances++
+		a.cycleAddrs[c.Addr] = true
+		cause := causes.cycleCauses[i]
+		if anomaly.CycleConsultsIPID(c) {
+			// Periodic cycles check IP ID coherence per round (Section
+			// 4.2.1) — same reasoning as the loop override above.
+			cause = anomaly.ClassifyCycleDetected(c, p.Classic, pm.cycles, true)
+		}
+		a.cycleByCause[cause]++
+		note(ds.cycleSigs, c.Addr, round)
+	}
+}
+
+// Merge combines per-worker accumulators into the campaign-wide Stats —
+// the same struct Analyze produces over retained results (they share this
+// code). rounds and dests are the campaign dimensions (per-accumulator
+// counts cannot reconstruct them). Every merged quantity is a sum or a set
+// union and each destination lives in exactly one accumulator, so the
+// result is independent of both accumulator order and map iteration order;
+// AllAddresses is sorted, making the whole Stats deterministic.
+func Merge(rounds, dests int, accs ...*Accumulator) *Stats {
+	s := &Stats{
+		Rounds: rounds,
+		Dests:  dests,
+		Loops:  LoopStats{ByCause: make(map[anomaly.Cause]int)},
+		Cycles: CycleStats{ByCause: make(map[anomaly.Cause]int)},
+	}
+	addrs := make(map[netip.Addr]bool)
+	loopAddrs := make(map[netip.Addr]bool)
+	cycleAddrs := make(map[netip.Addr]bool)
+	reached := 0
+	cycleRounds := 0
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		s.Routes += a.routes
+		reached += a.reached
+		s.Responses += a.responses
+		s.MidStars += a.midStars
+
+		s.Loops.Instances += a.loopInstances
+		s.Loops.RoutesWithLoop += a.routesWithLoop
+		s.Loops.ParisOnly += a.parisOnly
+		s.Cycles.Instances += a.cycleInstances
+		s.Cycles.RoutesWithCycle += a.routesWithCycle
+		for c, n := range a.loopByCause {
+			s.Loops.ByCause[c] += n
+		}
+		for c, n := range a.cycleByCause {
+			s.Cycles.ByCause[c] += n
+		}
+		for ad := range a.addrs {
+			addrs[ad] = true
+		}
+		for ad := range a.loopAddrs {
+			loopAddrs[ad] = true
+		}
+		for ad := range a.cycleAddrs {
+			cycleAddrs[ad] = true
+		}
+
+		for _, ds := range a.dests {
+			if ds.sawLoop {
+				s.Loops.DestsWithLoop++
+			}
+			if ds.sawCycle {
+				s.Cycles.DestsWithCycle++
+			}
+			s.Loops.Signatures += len(ds.loopSigs)
+			for _, sp := range ds.loopSigs {
+				if sp.rounds == 1 {
+					s.Loops.OneRoundSignatures++
+				}
+			}
+			s.Cycles.Signatures += len(ds.cycleSigs)
+			for _, sp := range ds.cycleSigs {
+				if sp.rounds == 1 {
+					s.Cycles.OneRoundSignatures++
+				}
+				cycleRounds += sp.rounds
+			}
+			dd := ds.classicGraph.Diamonds()
+			if len(dd) > 0 {
+				s.Diamonds.DestsWithDiamond++
+			}
+			s.Diamonds.Total += len(dd)
+			for _, d := range dd {
+				if anomaly.ClassifyDiamond(d, ds.parisGraph) == anomaly.CausePerFlowLB {
+					s.Diamonds.PerFlow++
+				}
+			}
+			s.Diamonds.ParisTotal += len(ds.parisGraph.Diamonds())
+		}
+	}
+	s.AddrsSeen = len(addrs)
+	if len(addrs) > 0 {
+		s.AllAddresses = make([]netip.Addr, 0, len(addrs))
+		for ad := range addrs {
+			s.AllAddresses = append(s.AllAddresses, ad)
+		}
+		sort.Slice(s.AllAddresses, func(i, j int) bool {
+			return s.AllAddresses[i].Less(s.AllAddresses[j])
+		})
+	}
+	s.Loops.AddrsInLoop = len(loopAddrs)
+	s.Cycles.AddrsInCycle = len(cycleAddrs)
+	if s.Routes > 0 {
+		s.ReachedPct = pct(reached, s.Routes)
+	}
+	if s.Cycles.Signatures > 0 {
+		s.Cycles.MeanRoundsPerSignature = float64(cycleRounds) / float64(s.Cycles.Signatures)
+	}
+	return s
+}

@@ -194,6 +194,84 @@ type Route struct {
 	Halt   HaltReason
 }
 
+// fnv64Offset and fnv64Prime are the 64-bit FNV-1a parameters; Fingerprint
+// folds whole words rather than bytes, which keeps the FNV mixing structure
+// at a fraction of the per-byte cost.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// addrWord flattens an IPv4 address into a hashable word; the zero word
+// stands for the invalid address of a star hop.
+func addrWord(a netip.Addr) uint64 {
+	if !a.IsValid() {
+		return 0
+	}
+	b := a.As4()
+	return 1<<32 | uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}
+
+// Fingerprint returns a cheap FNV-1a hash over the route's path
+// observables: destination, source, halt reason, and every hop's TTL,
+// responder address, reply kind, quoted probe TTL, response TTL and match
+// flag. Three per-exchange quantities are deliberately excluded — RTTs,
+// the response IP IDs (each responder's counter advances on every reply,
+// so no two rounds ever agree on them), and the per-attempt All table —
+// because a path that forwarded identically must fingerprint identically
+// round over round; that stability is what campaign accumulators intern
+// on. Routes that compare Equal always share a fingerprint; the
+// accumulator verifies fingerprint hits with Equal, and re-evaluates the
+// two classification rules that do consult IP IDs against the current
+// round's route (see the measure package's streaming contract).
+func (r *Route) Fingerprint() uint64 {
+	h := fnv64Offset
+	h = (h ^ addrWord(r.Dest)) * fnv64Prime
+	h = (h ^ addrWord(r.Source)) * fnv64Prime
+	h = (h ^ uint64(r.Halt)) * fnv64Prime
+	h = (h ^ uint64(len(r.Hops))) * fnv64Prime
+	for i := range r.Hops {
+		hp := &r.Hops[i]
+		h = (h ^ uint64(uint32(hp.TTL))) * fnv64Prime
+		h = (h ^ addrWord(hp.Addr)) * fnv64Prime
+		w := uint64(uint32(hp.Kind))<<24 |
+			uint64(uint8(hp.ProbeTTL))<<16 | uint64(uint8(hp.RespTTL))<<8
+		if hp.Mismatched {
+			w |= 1
+		}
+		h = (h ^ w) * fnv64Prime
+	}
+	return h
+}
+
+// Equal reports whether two routes carry identical path observables: same
+// destination, source, halt reason, and hop-for-hop identical TTL,
+// address, reply kind, probe TTL, response TTL and match flag. RTTs, IP
+// IDs and the per-attempt All table are ignored for the reasons
+// Fingerprint documents: they differ between exchanges even when the path
+// did not.
+func (r *Route) Equal(o *Route) bool {
+	if r == o {
+		return true
+	}
+	if r == nil || o == nil {
+		return false
+	}
+	if r.Dest != o.Dest || r.Source != o.Source || r.Halt != o.Halt ||
+		len(r.Hops) != len(o.Hops) {
+		return false
+	}
+	for i := range r.Hops {
+		a, b := &r.Hops[i], &o.Hops[i]
+		if a.TTL != b.TTL || a.Addr != b.Addr || a.Kind != b.Kind ||
+			a.ProbeTTL != b.ProbeTTL || a.RespTTL != b.RespTTL ||
+			a.Mismatched != b.Mismatched {
+			return false
+		}
+	}
+	return true
+}
+
 // Addresses returns the measured route as the paper defines it
 // (Section 4): the ℓ-tuple of responding addresses, with invalid entries
 // for stars, indexed from the first probed TTL.

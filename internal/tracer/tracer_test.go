@@ -490,3 +490,73 @@ func TestRouteAddressesTuple(t *testing.T) {
 		t.Errorf("addresses = %v", addrs)
 	}
 }
+
+// mkObsRoute builds a route with distinctive observables for the
+// fingerprint and equality tests.
+func mkObsRoute() *Route {
+	return &Route{
+		Dest:   tDest,
+		Source: tSrc,
+		Halt:   HaltDestination,
+		Hops: []Hop{
+			{TTL: 2, Addr: netip.AddrFrom4([4]byte{10, 0, 0, 2}), Kind: KindTimeExceeded, ProbeTTL: 1, RespTTL: 253, IPID: 7, RTT: 3 * time.Millisecond},
+			{TTL: 3, Kind: KindNone, ProbeTTL: -1},
+			{TTL: 4, Addr: tDest, Kind: KindPortUnreachable, ProbeTTL: 1, RespTTL: 251, IPID: 9, RTT: 5 * time.Millisecond},
+		},
+	}
+}
+
+func TestRouteEqualAndFingerprint(t *testing.T) {
+	a, b := mkObsRoute(), mkObsRoute()
+	if !a.Equal(b) || a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical routes must compare Equal with equal fingerprints")
+	}
+
+	// RTT, IP ID and the All table are per-exchange quantities, not path
+	// observables: they differ round over round even when the path did
+	// not, so they must not break interning.
+	b.Hops[0].RTT = 40 * time.Millisecond
+	b.Hops[0].IPID = 12345
+	b.All = [][]Hop{b.Hops[:1]}
+	if !a.Equal(b) || a.Fingerprint() != b.Fingerprint() {
+		t.Error("RTT/IPID/All changes must not affect Equal or Fingerprint")
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(r *Route)
+	}{
+		{"dest", func(r *Route) { r.Dest = netip.AddrFrom4([4]byte{172, 16, 0, 2}) }},
+		{"source", func(r *Route) { r.Source = netip.AddrFrom4([4]byte{10, 0, 0, 99}) }},
+		{"halt", func(r *Route) { r.Halt = HaltStars }},
+		{"hop count", func(r *Route) { r.Hops = r.Hops[:2] }},
+		{"hop ttl", func(r *Route) { r.Hops[0].TTL = 9 }},
+		{"hop addr", func(r *Route) { r.Hops[0].Addr = netip.AddrFrom4([4]byte{10, 0, 0, 3}) }},
+		{"hop star", func(r *Route) { r.Hops[0].Kind = KindNone; r.Hops[0].Addr = netip.Addr{} }},
+		{"hop kind", func(r *Route) { r.Hops[2].Kind = KindEchoReply }},
+		{"probe ttl", func(r *Route) { r.Hops[0].ProbeTTL = 0 }},
+		{"resp ttl", func(r *Route) { r.Hops[0].RespTTL = 200 }},
+		{"mismatched", func(r *Route) { r.Hops[0].Mismatched = true }},
+	}
+	for _, m := range mutations {
+		c := mkObsRoute()
+		m.mut(c)
+		if a.Equal(c) {
+			t.Errorf("%s: mutated route still compares Equal", m.name)
+		}
+		if a.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s: mutated route kept the same fingerprint", m.name)
+		}
+	}
+}
+
+func TestRouteEqualNil(t *testing.T) {
+	var nilRoute *Route
+	r := mkObsRoute()
+	if nilRoute.Equal(r) || r.Equal(nilRoute) {
+		t.Error("nil route compares Equal to a real one")
+	}
+	if !nilRoute.Equal(nilRoute) {
+		t.Error("nil must equal nil")
+	}
+}

@@ -66,7 +66,10 @@ func NewClassicUDP(tp tracer.Transport, opts tracer.Options) tracer.Tracer {
 }
 
 // RunCampaign executes a paired classic/Paris measurement campaign and
-// returns its anomaly statistics (see internal/measure for details).
+// returns its anomaly statistics (see internal/measure for details). With
+// cfg.Stream set the statistics are folded during the campaign in constant
+// memory; otherwise every pair is retained and analyzed at the end — the
+// two paths produce identical Stats.
 func RunCampaign(tp tracer.Transport, cfg measure.Config) (*measure.Stats, error) {
 	camp, err := measure.NewCampaign(tp, cfg)
 	if err != nil {
@@ -75,6 +78,9 @@ func RunCampaign(tp tracer.Transport, cfg measure.Config) (*measure.Stats, error
 	res, err := camp.Run()
 	if err != nil {
 		return nil, err
+	}
+	if res.Stats != nil {
+		return res.Stats, nil
 	}
 	return measure.Analyze(res), nil
 }
