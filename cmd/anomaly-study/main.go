@@ -7,6 +7,13 @@
 // Usage:
 //
 //	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-stream] [-seed N] [-paper]
+//	anomaly-study -live -live-dests A.B.C.D[,...] [-rounds N] [-batch] [-stream]
+//
+// -live swaps the simulator for the raw-socket transport
+// (internal/tracer/live) and runs the identical paired-trace campaign
+// against the real destinations in -live-dests; raw sockets need root or
+// CAP_NET_RAW, and the tool exits with an explanation when they are
+// unavailable.
 //
 // -paper selects the paper's full-scale study — 5,000 destinations and,
 // unless -rounds is given explicitly, the complete 556 rounds. -shards
@@ -27,10 +34,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/measure"
 	"repro/internal/topo"
+	"repro/internal/tracer/live"
 )
 
 func main() {
@@ -40,10 +51,23 @@ func main() {
 	shards := flag.Int("shards", 1, "independent network shards the topology is partitioned across")
 	batch := flag.Bool("batch", true, "submit each trace's TTL ladder as batched exchanges")
 	stream := flag.Bool("stream", true, "fold statistics during the campaign (constant memory); false retains every pair")
+	foldEvery := flag.Int("fold-every", 0, "streaming fold-batch size per worker (0: default; statistics identical for every K)")
 	seed := flag.Int64("seed", 42, "topology and dynamics seed")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (5,000 destinations x 556 rounds)")
 	truth := flag.Bool("truth", false, "print generator ground truth")
+	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
+	liveDests := flag.String("live-dests", "", "comma-separated IPv4 destinations for -live")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
 	flag.Parse()
+
+	if *liveMode {
+		if err := runLive(*liveDests, *rounds, *workers, *batch, *stream, *foldEvery, *seed, *timeout, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	roundsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -79,6 +103,7 @@ func main() {
 		ShardOf:    sc.ShardOf,
 		Batch:      *batch,
 		Stream:     *stream,
+		FoldEvery:  *foldEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)
@@ -94,4 +119,55 @@ func main() {
 		stats = measure.Analyze(res)
 	}
 	measure.WriteReport(os.Stdout, stats, sc.AS)
+}
+
+// runLive runs the same paired-trace campaign against the real network over
+// the raw-socket transport. It fails with a clear explanation when raw
+// sockets are unavailable (root or CAP_NET_RAW required) so the study never
+// half-runs without privileges.
+func runLive(destList string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout time.Duration, retries int) error {
+	if destList == "" {
+		return fmt.Errorf("-live requires -live-dests A.B.C.D[,A.B.C.D...]")
+	}
+	var dsts []netip.Addr
+	for _, s := range strings.Split(destList, ",") {
+		d, err := netip.ParseAddr(strings.TrimSpace(s))
+		if err != nil || !d.Is4() {
+			return fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
+		}
+		dsts = append(dsts, d)
+	}
+	src, err := live.LocalIPv4()
+	if err != nil {
+		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
+	}
+	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries})
+	if err != nil {
+		return fmt.Errorf("live probing unavailable: %w", err)
+	}
+	defer tp.Close()
+
+	camp, err := measure.NewCampaign(tp, measure.Config{
+		Dests:     dsts,
+		Rounds:    rounds,
+		Workers:   workers,
+		MinTTL:    1,
+		PortSeed:  seed,
+		Batch:     batch,
+		Stream:    stream,
+		FoldEvery: foldEvery,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := camp.Run()
+	if err != nil {
+		return err
+	}
+	stats := res.Stats
+	if stats == nil {
+		stats = measure.Analyze(res)
+	}
+	measure.WriteReport(os.Stdout, stats, nil)
+	return nil
 }

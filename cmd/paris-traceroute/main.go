@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-batch] [-seed N]
+//	paris-traceroute -live -dest A.B.C.D [-method paris-udp] [-batch] [-timeout 2s] [-retries 1]
 //
 // Scenarios: fig1, fig3, fig4, fig5, fig6, random. With -shards N > 1 the
 // random scenario is partitioned across N independent simulated networks
@@ -14,6 +15,11 @@
 // probe; the measured route is identical either way.
 // Methods: paris-udp, paris-icmp, paris-tcp, classic-udp, classic-icmp,
 // tcptraceroute.
+//
+// -live replaces the simulator with the raw-socket transport
+// (internal/tracer/live): probes go on the wire verbatim and -dest names
+// the real IPv4 destination. Raw sockets need root or CAP_NET_RAW; without
+// them the tool explains and exits rather than probing anything.
 //
 // With -flows N > 1, the tool runs the paper's future-work multipath
 // enumeration: one Paris trace per flow, reporting every interface of each
@@ -25,11 +31,13 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/topo"
 	"repro/internal/tracer"
+	"repro/internal/tracer/live"
 )
 
 func main() {
@@ -39,9 +47,22 @@ func main() {
 	shards := flag.Int("shards", 1, "network shards for the random scenario")
 	batch := flag.Bool("batch", false, "submit the TTL ladder as batched exchanges")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
+	liveDest := flag.String("dest", "", "live destination IPv4 address (required with -live)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
 	flag.Parse()
 
-	tp, dest, err := buildScenario(*scenario, *seed, *shards)
+	var (
+		tp   tracer.Transport
+		dest netip.Addr
+		err  error
+	)
+	if *liveMode {
+		tp, dest, err = buildLive(*liveDest, *timeout, *retries)
+	} else {
+		tp, dest, err = buildScenario(*scenario, *seed, *shards)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 		os.Exit(2)
@@ -111,6 +132,27 @@ func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
 		os.Exit(1)
 	}
 	fmt.Printf("balancer classification: %v\n", kind)
+}
+
+// buildLive opens the raw-socket transport, failing with a clear
+// explanation when the capability is missing.
+func buildLive(destStr string, timeout time.Duration, retries int) (tracer.Transport, netip.Addr, error) {
+	if destStr == "" {
+		return nil, netip.Addr{}, fmt.Errorf("-live requires -dest A.B.C.D")
+	}
+	dest, err := netip.ParseAddr(destStr)
+	if err != nil || !dest.Is4() {
+		return nil, netip.Addr{}, fmt.Errorf("-dest %q is not an IPv4 address", destStr)
+	}
+	src, err := live.LocalIPv4()
+	if err != nil {
+		return nil, netip.Addr{}, fmt.Errorf("cannot determine local IPv4 source: %w", err)
+	}
+	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries})
+	if err != nil {
+		return nil, netip.Addr{}, fmt.Errorf("live probing unavailable: %w", err)
+	}
+	return tp, dest, nil
 }
 
 func buildScenario(name string, seed int64, shards int) (tracer.Transport, netip.Addr, error) {

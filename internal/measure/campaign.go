@@ -7,8 +7,10 @@
 //
 // With Config.Stream set, the campaign computes its statistics while it
 // probes instead of materializing every Pair: each worker owns one
-// Accumulator and folds every pair it measures the moment the pair
-// completes. Ownership does the synchronization — the worker plan is fixed
+// Accumulator and folds every pair it measures as the pair completes —
+// staged through a small per-worker ring that folds Config.FoldEvery pairs
+// at a time (deferring folds for map locality, never reordering them).
+// Ownership does the synchronization — the worker plan is fixed
 // for the campaign's lifetime, so all of a destination's pairs flow
 // through the one worker that owns the destination, in round order, and no
 // accumulator (nor any per-destination state inside it) is ever touched by
@@ -94,6 +96,13 @@ type Config struct {
 	// with statistics byte-identical to Analyze over retained results
 	// (see the package comment's streaming contract). Off by default.
 	Stream bool
+	// FoldEvery batches the streaming folds: each worker stages completed
+	// pairs in a small ring and folds K at a time, amortizing the
+	// accumulator's cold-map walks at small round counts. Zero selects
+	// DefaultFoldEvery; 1 folds every pair the moment it completes.
+	// Statistics are identical for every K — batching defers folds but
+	// never reorders them. Ignored unless Stream is set.
+	FoldEvery int
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -112,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConsecutiveStars <= 0 {
 		c.MaxConsecutiveStars = 8
+	}
+	if c.FoldEvery <= 0 {
+		c.FoldEvery = DefaultFoldEvery
 	}
 	return c
 }
@@ -289,17 +301,19 @@ func portFor(seed int64, dest netip.Addr, salt uint64) uint16 {
 func (c *Campaign) Run() (*Results, error) {
 	res := &Results{Config: c.cfg}
 	var accs []*Accumulator
+	var rings []foldRing
 	if c.cfg.Stream {
 		accs = make([]*Accumulator, c.cfg.Workers)
 		for w := range accs {
 			accs[w] = NewAccumulator()
 		}
+		rings = make([]foldRing, c.cfg.Workers)
 	}
 	for r := 0; r < c.cfg.Rounds; r++ {
 		if c.cfg.RoundStart != nil {
 			c.cfg.RoundStart(r)
 		}
-		pairs, err := c.runRound(r, accs)
+		pairs, err := c.runRound(r, accs, rings)
 		if err != nil {
 			return nil, err
 		}
@@ -308,6 +322,12 @@ func (c *Campaign) Run() (*Results, error) {
 		}
 	}
 	if c.cfg.Stream {
+		// Drain the per-worker fold rings before the partials meet: a ring
+		// is only ever touched by its worker, and the final round's
+		// wg.Wait makes these flushes race-free on the caller goroutine.
+		for w := range rings {
+			rings[w].flush(accs[w])
+		}
 		res.Stats = Merge(c.cfg.Rounds, len(c.cfg.Dests), accs...)
 	}
 	return res, nil
@@ -322,7 +342,7 @@ func (c *Campaign) Run() (*Results, error) {
 // the whole round: a done channel closed under a sync.Once stops the
 // remaining workers at their next destination instead of letting them probe
 // out their slices silently.
-func (c *Campaign) runRound(round int, accs []*Accumulator) ([]Pair, error) {
+func (c *Campaign) runRound(round int, accs []*Accumulator, rings []foldRing) ([]Pair, error) {
 	dests := c.cfg.Dests
 	var out []Pair
 	if accs == nil {
@@ -356,7 +376,7 @@ func (c *Campaign) runRound(round int, accs []*Accumulator) ([]Pair, error) {
 					return
 				}
 				if accs != nil {
-					accs[w].Fold(&p)
+					rings[w].push(accs[w], p, c.cfg.FoldEvery)
 				} else {
 					out[i] = p
 				}

@@ -110,6 +110,44 @@ func note(sigs map[netip.Addr]*sigSpan, addr netip.Addr, round int) {
 	}
 }
 
+// DefaultFoldEvery is the per-worker fold-batch size the streaming campaign
+// uses when Config.FoldEvery is zero: completed pairs stage in a small ring
+// and fold K at a time, so the accumulator's interning maps are walked in
+// bursts while hot instead of once per trace while cold. This closes the
+// small-study locality gap the ROADMAP tracked (fold-as-you-go cost ~13%
+// extra wall at small round counts) without changing a single statistic:
+// batching only defers folds, it never reorders them, so the per-
+// destination nondecreasing-round contract — and with it byte-identical
+// Stats — holds for every K (TestCampaignStreamInvariance pins K=1 vs 16).
+const DefaultFoldEvery = 16
+
+// foldRing is one worker's staging buffer: a fixed-capacity ring of
+// completed pairs folded K at a time in completion order. A ring belongs to
+// exactly one worker across all rounds (the same ownership rule as the
+// accumulator it feeds) and must be flushed before Merge reads partials.
+type foldRing struct {
+	buf []Pair
+}
+
+// push stages one completed pair, folding the whole ring once k are
+// waiting.
+func (r *foldRing) push(a *Accumulator, p Pair, k int) {
+	r.buf = append(r.buf, p)
+	if len(r.buf) >= k {
+		r.flush(a)
+	}
+}
+
+// flush folds every staged pair, in order, and empties the ring (dropping
+// the route pointers so interned duplicates stay collectable).
+func (r *foldRing) flush(a *Accumulator) {
+	for i := range r.buf {
+		a.Fold(&r.buf[i])
+		r.buf[i] = Pair{}
+	}
+	r.buf = r.buf[:0]
+}
+
 // Accumulator folds completed pairs into partial campaign statistics. It is
 // not safe for concurrent use: a streaming campaign gives each worker its
 // own Accumulator, every destination's pairs flow through the single worker

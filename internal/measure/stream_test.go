@@ -13,7 +13,7 @@ import (
 // runStreamStats executes one campaign over a fresh copy of the
 // deterministic scenario with the streaming accumulators on or off and
 // returns the statistics either path yields.
-func runStreamStats(t *testing.T, stream, batch bool, shards, workers, dests, rounds int) *Stats {
+func runStreamStats(t *testing.T, stream, batch bool, shards, workers, dests, rounds, foldEvery int) *Stats {
 	t.Helper()
 	cfg := invarianceConfig(dests)
 	cfg.Shards = shards
@@ -27,6 +27,7 @@ func runStreamStats(t *testing.T, stream, batch bool, shards, workers, dests, ro
 		ShardOf:    sc.ShardOf,
 		Batch:      batch,
 		Stream:     stream,
+		FoldEvery:  foldEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,8 +63,8 @@ func TestCampaignStreamInvariance(t *testing.T) {
 	)
 	for _, shards := range []int{1, 4} {
 		for _, batch := range []bool{false, true} {
-			mat := runStreamStats(t, false, batch, shards, 32, dests, rounds)
-			str := runStreamStats(t, true, batch, shards, 32, dests, rounds)
+			mat := runStreamStats(t, false, batch, shards, 32, dests, rounds, 0)
+			str := runStreamStats(t, true, batch, shards, 32, dests, rounds, 0)
 			if mat.Loops.Instances == 0 || mat.Diamonds.Total == 0 {
 				t.Fatalf("shards=%d batch=%v: deterministic campaign saw no anomalies; invariance check degenerate", shards, batch)
 			}
@@ -71,6 +72,32 @@ func TestCampaignStreamInvariance(t *testing.T) {
 				t.Errorf("shards=%d batch=%v: campaign statistics differ between materialized Analyze and streaming:\nanalyze: %+v\nstream:  %+v",
 					shards, batch, mat, str)
 			}
+		}
+	}
+}
+
+// TestCampaignStreamInvarianceFoldEvery pins the fold-batching contract:
+// staging completed pairs in the per-worker ring and folding K at a time
+// must be byte-identical to folding each pair immediately (K=1), for a K
+// smaller than, equal to, and larger than a worker's per-round share — the
+// larger-than case forcing folds to defer across round boundaries until
+// the end-of-campaign flush.
+func TestCampaignStreamInvarianceFoldEvery(t *testing.T) {
+	const (
+		dests  = 96
+		rounds = 4
+	)
+	immediate := runStreamStats(t, true, true, 1, 32, dests, rounds, 1)
+	if immediate.Loops.Instances == 0 {
+		t.Fatal("deterministic campaign saw no anomalies; invariance check degenerate")
+	}
+	// A worker's per-round share is dests/32 = 3 pairs, so K=16 spans
+	// rounds and K=1<<20 defers everything to the final flush.
+	for _, k := range []int{2, 16, 1 << 20} {
+		batched := runStreamStats(t, true, true, 1, 32, dests, rounds, k)
+		if !reflect.DeepEqual(immediate, batched) {
+			t.Errorf("FoldEvery=%d: campaign statistics differ from FoldEvery=1:\nK=1: %+v\nK=%d: %+v",
+				k, immediate, k, batched)
 		}
 	}
 }
@@ -125,7 +152,7 @@ func TestCampaignStreamInvarianceFullGadgets(t *testing.T) {
 // paths emit AllAddresses ascending without any caller-side sort.
 func TestAnalyzeAllAddressesSorted(t *testing.T) {
 	for _, stream := range []bool{false, true} {
-		s := runStreamStats(t, stream, true, 1, 8, 60, 3)
+		s := runStreamStats(t, stream, true, 1, 8, 60, 3, 0)
 		if len(s.AllAddresses) == 0 {
 			t.Fatal("campaign discovered no addresses")
 		}

@@ -1,0 +1,137 @@
+package live
+
+import (
+	"errors"
+	"time"
+)
+
+// fakeConn is the in-process PacketConn the hermetic tests drive the live
+// transport with: every sent probe is answered by the responder (typically
+// a second, identical netsim.Network replaying exactly the responses the
+// simulator transport would have produced), and the schedule injects the
+// pathologies a real network adds on top — reordering, duplication, loss,
+// and late arrival. ReadBatch returns ErrTimeout the moment nothing is
+// deliverable, which fast-forwards the transport's deadline wheel without
+// any real sleeping.
+type fakeConn struct {
+	// respond produces the response for one sent probe; ok=false means the
+	// network stays silent (a star at the source of truth).
+	respond func(probe []byte) ([]byte, bool)
+	sched   fakeSchedule
+
+	seq    int // send ordinal, counted across the conn's lifetime
+	queue  [][]byte
+	held   []heldResp
+	closed bool
+
+	// sends records every probe put on the "wire", in order, for
+	// attempt-count assertions.
+	sends [][]byte
+}
+
+// fakeSchedule scripts the fault injection, keyed by send ordinal (the
+// running index of WriteBatch datagrams, retries included) and the probe
+// bytes themselves.
+type fakeSchedule struct {
+	// drop discards the response to this send (the probe still reaches the
+	// responder — the exchange happened, only the answer is lost).
+	drop func(ord int, probe []byte) bool
+	// dup delivers the response twice.
+	dup func(ord int) bool
+	// delay withholds the response for n ReadBatch calls; it models late
+	// arrival within the probe's deadline (loss past the deadline is what
+	// drop is for), so held responses are still delivered before ReadBatch
+	// ever reports a timeout.
+	delay func(ord int) int
+	// reorder delivers newest-first instead of oldest-first.
+	reorder bool
+}
+
+type heldResp struct {
+	after int
+	pkt   []byte
+}
+
+func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
+	if c.closed {
+		return 0, errors.New("fake: closed")
+	}
+	for _, dg := range dgs {
+		ord := c.seq
+		c.seq++
+		probe := append([]byte(nil), dg.Buf...)
+		c.sends = append(c.sends, probe)
+		resp, ok := c.respond(probe)
+		if !ok {
+			continue
+		}
+		if c.sched.drop != nil && c.sched.drop(ord, probe) {
+			continue
+		}
+		n := 1
+		if c.sched.dup != nil && c.sched.dup(ord) {
+			n = 2
+		}
+		d := 0
+		if c.sched.delay != nil {
+			d = c.sched.delay(ord)
+		}
+		for ; n > 0; n-- {
+			if d > 0 {
+				c.held = append(c.held, heldResp{after: d, pkt: resp})
+			} else {
+				c.queue = append(c.queue, resp)
+			}
+		}
+	}
+	return len(dgs), nil
+}
+
+func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
+	if c.closed {
+		return 0, errors.New("fake: closed")
+	}
+	// Advance the virtual clock: release held responses as their delay
+	// elapses. A timeout is only reported once nothing is held either —
+	// delayed responses are late, not lost.
+	for {
+		kept := c.held[:0]
+		for _, h := range c.held {
+			h.after--
+			if h.after <= 0 {
+				c.queue = append(c.queue, h.pkt)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		c.held = kept
+		if len(c.queue) > 0 {
+			break
+		}
+		if len(c.held) == 0 {
+			return 0, ErrTimeout
+		}
+	}
+	filled := 0
+	for filled < len(dgs) && len(c.queue) > 0 {
+		var pkt []byte
+		if c.sched.reorder {
+			pkt = c.queue[len(c.queue)-1]
+			c.queue = c.queue[:len(c.queue)-1]
+		} else {
+			pkt = c.queue[0]
+			c.queue = c.queue[1:]
+		}
+		n := copy(dgs[filled].Buf, pkt)
+		dgs[filled].N = n
+		filled++
+	}
+	return filled, nil
+}
+
+func (c *fakeConn) SetReadDeadline(time.Time) error { return nil }
+
+func (c *fakeConn) Close() error {
+	c.closed = true
+	return nil
+}

@@ -1,0 +1,378 @@
+// Package live carries the repository's probing engines onto the real
+// network: a tracer.Transport / tracer.BatchTransport over raw IPv4
+// sockets, sending whole TTL-ladder windows with one sendmmsg and reading
+// responses back with recvmmsg, so the batched amortization the simulator
+// path earned (PR 3) applies unchanged to live measurement.
+//
+// # Response-matching contract
+//
+// Probes go out with IP_HDRINCL: every header field the engines craft —
+// TTL, IP ID, the Paris UDP checksum payload, the compensated ICMP Echo
+// identifier — reaches the wire verbatim, exactly as the original
+// paris-traceroute tool requires. Responses arrive on shared raw ICMP and
+// TCP sockets and are demultiplexed back to their in-flight probes by the
+// quoted inner header's flow identifier: an ICMP error quotes the probe's
+// IP header plus its first eight transport octets (RFC 792), and those
+// octets are precisely where each discipline keeps its flow and probe
+// identifiers — the Paris invariant of Section 2.1 of the paper. The match
+// key is (inner source, inner destination, inner protocol, inner IP ID,
+// first eight quoted transport octets); the quoted TTL and checksum, which
+// routers mutate in flight (zero-TTL forwarding, Fig. 4), and the outer
+// source address, which NAT boxes rewrite (Fig. 5), are excluded. Terminal
+// responses match on what the destination echoes back (Echo identifier and
+// sequence; TCP ports and acknowledged sequence number), falling back to
+// oldest-unanswered FIFO order when a discipline sends indistinguishable
+// probes (tcptraceroute's constant sequence number). Everything finer — the
+// per-discipline strict matching of Section 2.1 — stays in the tracer's
+// shared parseResponse pipeline, identical for simulated and live routes.
+//
+// Timeouts, retries, and out-of-order, duplicate, or unrelated responses
+// are handled by a per-batch deadline wheel: every in-flight probe carries
+// its own deadline and attempt count, the receive loop polls until the
+// earliest pending deadline, expired probes are re-sent (up to
+// Config.Retries times) as one batch, and probes that exhaust their
+// attempts resolve as stars. Duplicates resolve against an already-empty
+// key queue and are dropped; unrelated traffic never matches a key at all.
+//
+// # Privileges and the socket seam
+//
+// The syscall layer sits behind the PacketConn interface (sockets.go). The
+// real implementation needs root or CAP_NET_RAW, exists on Linux only, and
+// is exercised by an opt-in loopback test; everything above the seam — the
+// batching, demultiplexing, timeout, retry, and buffer-recycling logic —
+// runs identically over an in-process fake and is pinned by differential
+// tests against the simulator: ladders driven through a fake that replays
+// netsim-generated responses must produce tracer.Routes equal (in every
+// path observable) to the netsim transport's, including under injected
+// reorder, duplicate, and drop schedules. Available reports whether raw
+// sockets can be opened; New returns a descriptive error when they cannot,
+// and callers are expected to fall back to the simulator or exit cleanly.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/tracer"
+)
+
+// Config parameterizes a live transport.
+type Config struct {
+	// Source is the local IPv4 address probes carry; LocalIPv4 guesses it.
+	Source netip.Addr
+	// Timeout bounds each probe attempt (the paper's tool waits 2 s).
+	// Zero selects 2 s.
+	Timeout time.Duration
+	// Retries is how many times an unanswered probe is re-sent before it
+	// resolves as a star. Zero means send once, never re-send; the
+	// simulator's loss-free semantics correspond to Retries: 0.
+	Retries int
+	// Conn overrides the raw-socket layer — the test seam. Nil dials the
+	// platform's real raw sockets (Linux only, needs root/CAP_NET_RAW).
+	Conn PacketConn
+	// MTU sizes receive buffers. Zero selects 1500.
+	MTU int
+}
+
+// Transport implements tracer.Transport and tracer.BatchTransport over a
+// PacketConn. A Transport serializes its exchanges internally (the shared
+// receive sockets cannot attribute responses across interleaved batches),
+// so it is safe for concurrent use but gains nothing from it; live
+// campaigns should open one Transport per worker, as the paper ran one
+// traceroute process per destination slice.
+type Transport struct {
+	src     netip.Addr
+	timeout time.Duration
+	retries int
+	mtu     int
+
+	mu   sync.Mutex
+	conn PacketConn
+	// Per-batch scratch, reused under mu across batches.
+	slots []slot
+	byKey map[matchKey][]int
+	send  []Datagram
+	recv  []Datagram
+}
+
+// slot is one in-flight probe's entry in the deadline wheel.
+type slot struct {
+	probe            []byte
+	dst              [4]byte
+	quoted, terminal matchKey
+	hasTerminal      bool
+	sentAt           time.Time
+	deadline         time.Time
+	attempts         int
+	resolved         bool
+}
+
+// New opens a live transport. Construction fails with a descriptive error
+// when raw sockets are unavailable (no CAP_NET_RAW, or a non-Linux
+// platform) unless cfg.Conn supplies the socket layer.
+func New(cfg Config) (*Transport, error) {
+	if !cfg.Source.Is4() {
+		return nil, fmt.Errorf("live: need an IPv4 source address, got %v", cfg.Source)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	conn := cfg.Conn
+	if conn == nil {
+		var err error
+		conn, err = dialRaw()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Transport{
+		src:     cfg.Source,
+		timeout: cfg.Timeout,
+		retries: cfg.Retries,
+		mtu:     cfg.MTU,
+		conn:    conn,
+		byKey:   make(map[matchKey][]int),
+	}, nil
+}
+
+// Source implements tracer.Transport.
+func (t *Transport) Source() netip.Addr { return t.src }
+
+// Close releases the underlying sockets.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conn.Close()
+}
+
+// Exchange implements tracer.Transport: a batch of one.
+func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	probes := [1][]byte{probe}
+	var out [1]tracer.ProbeResult
+	t.ExchangeBatch(probes[:], out[:])
+	if !out[0].OK {
+		return nil, 0, false
+	}
+	return out[0].Resp, out[0].RTT, true
+}
+
+// ExchangeBatch implements tracer.BatchTransport: send the whole window in
+// one sendmmsg, demultiplex responses from the shared raw sockets, and
+// drive the deadline wheel until every probe has a response or has
+// exhausted its attempts. out[i].Resp is refilled with append-truncate, so
+// callers recycling one result slice across batches (tracer.Scratch)
+// amortize the response buffers exactly as they do against the simulator.
+func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("live: ExchangeBatch result slice shorter than probe slice")
+	}
+	if len(probes) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	unresolved := t.register(probes, out)
+	if unresolved == 0 {
+		return
+	}
+	t.sendPending(time.Now(), func(s *slot) bool { return s.attempts == 0 })
+
+	for unresolved > 0 {
+		wheelDL := t.earliestDeadline()
+		if err := t.conn.SetReadDeadline(wheelDL); err != nil {
+			unresolved -= t.expireAll()
+			continue
+		}
+		m, err := t.conn.ReadBatch(t.recv)
+		now := time.Now()
+		// Consume whatever arrived before acting on any error: a read can
+		// legitimately return datagrams alongside a failure (one socket
+		// delivered, the other broke) and those responses are real.
+		for i := 0; i < m; i++ {
+			dg := &t.recv[i]
+			key, ok := respKey(dg.Buf[:dg.N])
+			if !ok {
+				continue // unrelated traffic
+			}
+			idx, ok := t.pop(key)
+			if !ok {
+				continue // duplicate, or someone else's conversation
+			}
+			s := &t.slots[idx]
+			s.resolved = true
+			out[idx].Resp = append(out[idx].Resp[:0], dg.Buf[:dg.N]...)
+			out[idx].RTT = now.Sub(s.sentAt)
+			out[idx].OK = true
+			unresolved--
+		}
+		if errors.Is(err, ErrTimeout) {
+			// The conn reports the deadline we set has passed: expire
+			// everything at or before it. Trusting the conn (not the wall
+			// clock) is what lets the fake fast-forward the wheel without
+			// real sleeps while the real sockets still pace by time.
+			unresolved -= t.expire(wheelDL, now)
+			continue
+		}
+		if err != nil {
+			// Socket failure: resolve the remainder as stars and bail.
+			unresolved -= t.expireAll()
+			continue
+		}
+	}
+	clear(t.byKey)
+}
+
+// register parses every probe into its wheel slot and key-table entries,
+// resets the result slots, and returns how many probes are in flight.
+// Unparseable probes resolve as immediate stars.
+func (t *Transport) register(probes [][]byte, out []tracer.ProbeResult) int {
+	n := len(probes)
+	t.growScratch(n)
+	clear(t.byKey)
+	unresolved := 0
+	for i, p := range probes {
+		out[i].OK = false
+		out[i].RTT = 0
+		if out[i].Resp != nil {
+			out[i].Resp = out[i].Resp[:0]
+		}
+		s := &t.slots[i]
+		*s = slot{probe: p}
+		quoted, terminal, hasTerminal, ok := probeKeys(p)
+		if !ok {
+			s.resolved = true
+			continue
+		}
+		s.dst = quoted.dst
+		s.quoted, s.terminal, s.hasTerminal = quoted, terminal, hasTerminal
+		t.byKey[quoted] = append(t.byKey[quoted], i)
+		if hasTerminal {
+			t.byKey[terminal] = append(t.byKey[terminal], i)
+		}
+		unresolved++
+	}
+	t.slots = t.slots[:n]
+	return unresolved
+}
+
+// growScratch sizes the slot and datagram scratch for an n-probe batch,
+// keeping previously grown receive buffers.
+func (t *Transport) growScratch(n int) {
+	if cap(t.slots) < n {
+		t.slots = make([]slot, n)
+	}
+	t.slots = t.slots[:n]
+	if len(t.recv) == 0 {
+		t.recv = make([]Datagram, 32)
+		for i := range t.recv {
+			t.recv[i].Buf = make([]byte, t.mtu)
+		}
+	}
+}
+
+// sendPending gathers the unresolved slots selected by pick into one
+// WriteBatch, stamping their send time, deadline, and attempt count. A send
+// error resolves the selected slots as stars (the caller observes the
+// shrunken unresolved count through expireAll on the next loop).
+func (t *Transport) sendPending(now time.Time, pick func(*slot) bool) {
+	t.send = t.send[:0]
+	idxs := make([]int, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.resolved || !pick(s) {
+			continue
+		}
+		t.send = append(t.send, Datagram{Buf: s.probe, Dst: s.dst})
+		idxs = append(idxs, i)
+	}
+	if len(t.send) == 0 {
+		return
+	}
+	sent, _ := t.conn.WriteBatch(t.send)
+	for k, i := range idxs {
+		s := &t.slots[i]
+		if k < sent {
+			s.sentAt = now
+			s.deadline = now.Add(t.timeout)
+			s.attempts++
+		} else {
+			// Never made it onto the wire: burn the attempt with an
+			// already-expired deadline so the wheel retries or stars it.
+			s.deadline = now
+			s.attempts++
+		}
+	}
+}
+
+// earliestDeadline returns the soonest deadline among in-flight probes.
+func (t *Transport) earliestDeadline() time.Time {
+	var dl time.Time
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.resolved {
+			continue
+		}
+		if dl.IsZero() || s.deadline.Before(dl) {
+			dl = s.deadline
+		}
+	}
+	return dl
+}
+
+// expire advances the wheel past dl: probes due at or before it are re-sent
+// when they have attempts left and starred otherwise. Returns how many
+// resolved (as stars).
+func (t *Transport) expire(dl, now time.Time) int {
+	starred := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.resolved || s.deadline.After(dl) {
+			continue
+		}
+		if s.attempts > t.retries {
+			s.resolved = true
+			starred++
+		}
+	}
+	t.sendPending(now, func(s *slot) bool { return !s.deadline.After(dl) })
+	return starred
+}
+
+// expireAll stars every in-flight probe — the socket-failure path.
+func (t *Transport) expireAll() int {
+	starred := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.resolved {
+			s.resolved = true
+			starred++
+		}
+	}
+	return starred
+}
+
+// pop resolves key to the oldest unanswered probe registered under it,
+// consuming the entry. Entries already resolved through their other key
+// are skipped lazily.
+func (t *Transport) pop(key matchKey) (int, bool) {
+	q := t.byKey[key]
+	for len(q) > 0 {
+		idx := q[0]
+		q = q[1:]
+		if !t.slots[idx].resolved {
+			t.byKey[key] = q
+			return idx, true
+		}
+	}
+	if q != nil {
+		t.byKey[key] = q
+	}
+	return 0, false
+}

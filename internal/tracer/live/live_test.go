@@ -1,0 +1,342 @@
+package live
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+)
+
+// The differential harness: the same probing engine is run once against the
+// simulator transport (the baseline) and once against the live transport
+// over a fakeConn whose responder replays a second, identically-built
+// netsim.Network — so every byte the live path receives is a genuine
+// simulator response, and the two routes must agree on every path
+// observable (tracer.Route.Equal: everything but RTTs and IP IDs, which
+// differ per exchange by construction). The schedules then layer reorder,
+// duplication, loss and delay over the replay without being allowed to
+// change the measured route.
+
+var scenarios = []struct {
+	name  string
+	build func(seed int64) (*netsim.Network, netip.Addr)
+}{
+	{"fig1", func(s int64) (*netsim.Network, netip.Addr) {
+		f := topo.BuildFigure1(s, netsim.PerFlow)
+		return f.Net, f.Dest.Addr
+	}},
+	{"fig3", func(s int64) (*netsim.Network, netip.Addr) {
+		f := topo.BuildFigure3(s)
+		return f.Net, f.Dest.Addr
+	}},
+	{"fig4-zero-ttl", func(s int64) (*netsim.Network, netip.Addr) {
+		f := topo.BuildFigure4(s)
+		return f.Net, f.Dest.Addr
+	}},
+	{"fig5-nat", func(s int64) (*netsim.Network, netip.Addr) {
+		f := topo.BuildFigure5(s)
+		return f.Net, f.Dest.Addr
+	}},
+	{"fig6", func(s int64) (*netsim.Network, netip.Addr) {
+		f := topo.BuildFigure6(s, netsim.PerFlow)
+		return f.Net, f.Dest.Addr
+	}},
+}
+
+var methods = []struct {
+	name string
+	mk   func(tracer.Transport, tracer.Options) tracer.Tracer
+	// indistinctTerminal marks disciplines whose terminal responses carry
+	// no per-probe identifier (tcptraceroute's constant sequence number):
+	// under arrival-order perturbation the FIFO rule can only credit such
+	// a response to the oldest in-flight probe, so exact equality with the
+	// simulator's oracle matching is unattainable by any implementation.
+	indistinctTerminal bool
+}{
+	{"paris-udp", tracer.NewParisUDP, false},
+	{"paris-icmp", tracer.NewParisICMP, false},
+	{"paris-tcp", tracer.NewParisTCP, false},
+	{"classic-udp", tracer.NewClassicUDP, false},
+	{"classic-icmp", tracer.NewClassicICMP, false},
+	{"tcptraceroute", tracer.NewTCPTraceroute, true},
+}
+
+// netsimResponder replays probes through net, exactly as the simulator
+// transport would answer them.
+func netsimResponder(net *netsim.Network) func([]byte) ([]byte, bool) {
+	return func(probe []byte) ([]byte, bool) {
+		resp, _, ok := net.Exchange(probe)
+		return resp, ok
+	}
+}
+
+// newFakeTransport builds a live Transport over a fakeConn backed by a
+// fresh copy of the scenario.
+func newFakeTransport(t *testing.T, build func(int64) (*netsim.Network, netip.Addr), seed int64, sched fakeSchedule, retries int) (*Transport, *fakeConn, netip.Addr) {
+	t.Helper()
+	net, dest := build(seed)
+	fake := &fakeConn{respond: netsimResponder(net), sched: sched}
+	tp, err := New(Config{Source: net.Source(), Conn: fake, Retries: retries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, fake, dest
+}
+
+// TestLiveDifferentialAgainstNetsim is the package's acceptance test:
+// ladders driven through the fake socket replaying netsim responses must
+// produce routes identical (in every path observable) to the netsim
+// transport's, for every scenario, every probing discipline, every batch
+// window, and under injected reorder, duplicate, drop and delay schedules.
+func TestLiveDifferentialAgainstNetsim(t *testing.T) {
+	const seed = 7
+	schedules := []struct {
+		name    string
+		sched   func() fakeSchedule
+		retries int
+		// perturbsOrder: the schedule changes arrival order across
+		// response kinds, which indistinct-terminal disciplines cannot
+		// survive exactly (see methods).
+		perturbsOrder bool
+	}{
+		{"clean", func() fakeSchedule { return fakeSchedule{} }, 0, false},
+		{"reorder", func() fakeSchedule { return fakeSchedule{reorder: true} }, 0, true},
+		{"duplicate", func() fakeSchedule {
+			return fakeSchedule{dup: func(int) bool { return true }}
+		}, 0, false},
+		{"delay-half", func() fakeSchedule {
+			return fakeSchedule{delay: func(ord int) int {
+				if ord%2 == 0 {
+					return 2
+				}
+				return 0
+			}}
+		}, 0, true},
+		{"drop-first-attempt+retry", func() fakeSchedule {
+			seen := make(map[string]bool)
+			return fakeSchedule{drop: func(_ int, probe []byte) bool {
+				if seen[string(probe)] {
+					return false
+				}
+				seen[string(probe)] = true
+				return true
+			}}
+		}, 1, false},
+	}
+	for _, sc := range scenarios {
+		for _, m := range methods {
+			net1, dest1 := sc.build(seed)
+			want, err := m.mk(netsim.NewTransport(net1), tracer.Options{}).Trace(dest1)
+			if err != nil {
+				t.Fatalf("%s/%s baseline: %v", sc.name, m.name, err)
+			}
+			for _, sch := range schedules {
+				if sch.perturbsOrder && m.indistinctTerminal {
+					continue
+				}
+				for _, window := range []int{0, 1, 4} {
+					tp, _, dest := newFakeTransport(t, sc.build, seed, sch.sched(), sch.retries)
+					got, err := m.mk(tp, tracer.Options{Batch: true, BatchWindow: window}).Trace(dest)
+					if err != nil {
+						t.Fatalf("%s/%s/%s w=%d: %v", sc.name, m.name, sch.name, window, err)
+					}
+					if !got.Equal(want) {
+						t.Errorf("%s/%s/%s w=%d: live route differs from netsim\ngot:  halt=%v hops=%v\nwant: halt=%v hops=%v",
+							sc.name, m.name, sch.name, window,
+							got.Halt, got.Addresses(), want.Halt, want.Addresses())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLiveSequentialExchange drives the tracer's sequential (non-batched)
+// loop through Transport.Exchange and requires the same route as the
+// simulator, for every discipline.
+func TestLiveSequentialExchange(t *testing.T) {
+	const seed = 11
+	for _, m := range methods {
+		net1, dest1 := scenarios[1].build(seed) // fig3
+		want, err := m.mk(netsim.NewTransport(net1), tracer.Options{}).Trace(dest1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, fakeSchedule{}, 0)
+		got, err := m.mk(tp, tracer.Options{}).Trace(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: sequential live route differs\ngot:  %v\nwant: %v", m.name, got.Addresses(), want.Addresses())
+		}
+	}
+}
+
+// TestLiveSilentHopStar suppresses every response from one TTL and expects
+// exactly that hop to become a star while the rest of the ladder (and the
+// halt) match the unsuppressed baseline.
+func TestLiveSilentHopStar(t *testing.T) {
+	const seed, silentTTL = 3, 5
+	net1, dest1 := scenarios[1].build(seed)
+	want, err := tracer.NewParisUDP(netsim.NewTransport(net1), tracer.Options{}).Trace(dest1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net2, dest := scenarios[1].build(seed)
+	inner := netsimResponder(net2)
+	fake := &fakeConn{respond: func(probe []byte) ([]byte, bool) {
+		var h packet.IPv4
+		if _, err := packet.ParseIPv4Into(probe, &h); err == nil && int(h.TTL) == silentTTL {
+			// The router still saw and dropped the probe; only the
+			// answer never comes back.
+			inner(probe)
+			return nil, false
+		}
+		return inner(probe)
+	}}
+	tp, err := New(Config{Source: net2.Source(), Conn: fake, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true}).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hops) != len(want.Hops) || got.Halt != want.Halt {
+		t.Fatalf("route shape changed: got %d hops halt %v, want %d hops halt %v",
+			len(got.Hops), got.Halt, len(want.Hops), want.Halt)
+	}
+	for i := range got.Hops {
+		if i == silentTTL-1 {
+			if !got.Hops[i].Star() {
+				t.Errorf("hop %d: got %v, want a star", i+1, got.Hops[i].Addr)
+			}
+			continue
+		}
+		if got.Hops[i].Addr != want.Hops[i].Addr {
+			t.Errorf("hop %d: got %v, want %v", i+1, got.Hops[i].Addr, want.Hops[i].Addr)
+		}
+	}
+}
+
+// TestLiveRetriesExhausted drops every response: the wheel must re-send
+// each probe exactly Retries times before starring it, and the ladder must
+// halt on the consecutive-star rule.
+func TestLiveRetriesExhausted(t *testing.T) {
+	const retries = 2
+	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5,
+		fakeSchedule{drop: func(int, []byte) bool { return true }}, retries)
+	got, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true}).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Halt != tracer.HaltStars {
+		t.Fatalf("halt = %v, want stars", got.Halt)
+	}
+	if len(got.Hops) != 8 { // default MaxConsecutiveStars
+		t.Fatalf("got %d hops, want 8 (the star run)", len(got.Hops))
+	}
+	for _, h := range got.Hops {
+		if !h.Star() {
+			t.Fatalf("hop %d responded under a drop-everything schedule", h.TTL)
+		}
+	}
+	// One window of 8 probes (default window), each sent 1 + retries times.
+	if want := 8 * (1 + retries); len(fake.sends) != want {
+		t.Errorf("sent %d probes, want %d (8 probes x %d attempts)", len(fake.sends), want, 1+retries)
+	}
+}
+
+// TestLiveUnrelatedTrafficIgnored floods the receive path with traffic that
+// must never match: our own outbound probes (as a loopback capture would
+// deliver them), ICMP errors quoting someone else's flow, and unparseable
+// noise. The measured route must be unaffected.
+func TestLiveUnrelatedTrafficIgnored(t *testing.T) {
+	const seed = 13
+	net1, dest1 := scenarios[1].build(seed)
+	want, err := tracer.NewParisUDP(netsim.NewTransport(net1), tracer.Options{}).Trace(dest1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net2, dest := scenarios[1].build(seed)
+	inner := netsimResponder(net2)
+	junkQuote := buildJunkError(t)
+	fake := &fakeConn{}
+	fake.respond = func(probe []byte) ([]byte, bool) {
+		resp, ok := inner(probe)
+		// Sandwich every genuine response between junk deliveries.
+		fake.queue = append(fake.queue,
+			append([]byte(nil), probe...), // our own probe, looped back
+			junkQuote,
+			[]byte{0xde, 0xad, 0xbe, 0xef}, // unparseable noise
+		)
+		return resp, ok
+	}
+	tp, err := New(Config{Source: net2.Source(), Conn: fake, Retries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true}).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("junk traffic changed the route\ngot:  %v\nwant: %v", got.Addresses(), want.Addresses())
+	}
+}
+
+// buildJunkError crafts a syntactically-valid ICMP Time Exceeded quoting a
+// flow no probe of the test owns.
+func buildJunkError(t *testing.T) []byte {
+	t.Helper()
+	src := netip.AddrFrom4([4]byte{203, 0, 113, 7})
+	dst := netip.AddrFrom4([4]byte{203, 0, 113, 99})
+	uh := &packet.UDP{SrcPort: 4242, DstPort: 2424}
+	dgram, err := packet.MarshalUDP(src, dst, uh, []byte("junkjunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoted, err := (&packet.IPv4{TTL: 1, Protocol: packet.ProtoUDP, ID: 999, Src: src, Dst: dst}).Marshal(dgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := packet.TimeExceeded(quoted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := packet.MarshalIPv4ICMP(&packet.IPv4{
+		TTL: 61, Protocol: packet.ProtoICMP, ID: 1,
+		Src: netip.AddrFrom4([4]byte{198, 51, 100, 1}), Dst: src,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestLiveScratchReuse traces twice through one tracer.Scratch (the
+// campaign steady state) and checks the second trace reuses the result
+// buffers without disturbing the measured hops.
+func TestLiveScratchReuse(t *testing.T) {
+	const seed = 17
+	sc := tracer.NewScratch()
+	tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, fakeSchedule{}, 0)
+	opts := tracer.Options{Batch: true, Scratch: sc}
+	first, err := tracer.NewParisUDP(tp, opts).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tracer.NewParisUDP(tp, opts).Trace(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(second) {
+		t.Error("second trace through the same Scratch changed the measured route")
+	}
+}

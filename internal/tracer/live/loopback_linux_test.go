@@ -1,0 +1,60 @@
+//go:build linux
+
+package live
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/tracer"
+)
+
+// TestLiveLoopback exercises the real raw-socket path end to end where the
+// environment permits it (root or CAP_NET_RAW; CI runs it in a privileged
+// job, everywhere else it skips cleanly): a batched Paris UDP ladder toward
+// 127.0.0.1 must reach the local responder — the kernel itself — in one
+// hop via an ICMP Port Unreachable quoting our probe, driven through
+// sendmmsg/recvmmsg on architectures that compile them in.
+func TestLiveLoopback(t *testing.T) {
+	if err := Available(); err != nil {
+		t.Skipf("raw sockets unavailable: %v", err)
+	}
+	lo := netip.AddrFrom4([4]byte{127, 0, 0, 1})
+	tp, err := New(Config{Source: lo, Timeout: 2 * time.Second, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	t.Run("paris-udp", func(t *testing.T) {
+		rt, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true, MaxTTL: 5}).Trace(lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rt.Reached() {
+			t.Fatalf("loopback not reached: halt=%v hops=%v", rt.Halt, rt.Addresses())
+		}
+		if len(rt.Hops) != 1 || rt.Hops[0].Addr != lo {
+			t.Fatalf("route = %v, want a single hop answering as %v", rt.Addresses(), lo)
+		}
+		if rt.Hops[0].Kind != tracer.KindPortUnreachable {
+			t.Errorf("terminal kind = %v, want port-unreachable", rt.Hops[0].Kind)
+		}
+	})
+
+	t.Run("paris-icmp", func(t *testing.T) {
+		rt, err := tracer.NewParisICMP(tp, tracer.Options{Batch: true, MaxTTL: 5}).Trace(lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rt.Reached() {
+			// Some hosts suppress echo responses (icmp_echo_ignore_all);
+			// the UDP subtest above is the hard assertion.
+			t.Skipf("no echo reply from loopback: halt=%v", rt.Halt)
+		}
+		if len(rt.Hops) != 1 || rt.Hops[0].Kind != tracer.KindEchoReply {
+			t.Fatalf("route = %v kind=%v, want one echo-reply hop", rt.Addresses(), rt.Hops[0].Kind)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+//go:build linux && (amd64 || arm64)
+
+package live
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// The batch syscalls. The Go standard library's frozen syscall tables
+// predate sendmmsg (and lack recvmmsg on some architectures), so the
+// numbers live in sysnum_linux_*.go per architecture; architectures
+// without an entry compile the mmsg_linux_fallback.go stubs and take the
+// per-packet path in sockets_linux.go instead.
+
+const haveMmsg = true
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: a msghdr plus the
+// returned datagram length, padded to 8 bytes.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	mlen uint32
+	_    [4]byte
+}
+
+// sendmmsg transmits every datagram in one syscall, returning how many the
+// kernel accepted.
+func sendmmsg(fd int, dgs []Datagram) (int, error) {
+	vec := make([]mmsghdr, len(dgs))
+	iovs := make([]syscall.Iovec, len(dgs))
+	sas := make([]syscall.RawSockaddrInet4, len(dgs))
+	for i := range dgs {
+		iovs[i].Base = &dgs[i].Buf[0]
+		iovs[i].SetLen(len(dgs[i].Buf))
+		sas[i] = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: dgs[i].Dst}
+		vec[i].hdr.Name = (*byte)(unsafe.Pointer(&sas[i]))
+		vec[i].hdr.Namelen = uint32(syscall.SizeofSockaddrInet4)
+		vec[i].hdr.Iov = &iovs[i]
+		vec[i].hdr.Iovlen = 1
+	}
+	n, _, errno := syscall.Syscall6(sysSendmmsg,
+		uintptr(fd), uintptr(unsafe.Pointer(&vec[0])), uintptr(len(vec)), 0, 0, 0)
+	if errno != 0 {
+		return int(n), errno
+	}
+	return int(n), nil
+}
+
+// recvmmsg drains every immediately-available datagram into dgs in one
+// nonblocking syscall, filling each entry's N.
+func recvmmsg(fd int, dgs []Datagram) (int, error) {
+	vec := make([]mmsghdr, len(dgs))
+	iovs := make([]syscall.Iovec, len(dgs))
+	for i := range dgs {
+		iovs[i].Base = &dgs[i].Buf[0]
+		iovs[i].SetLen(len(dgs[i].Buf))
+		vec[i].hdr.Iov = &iovs[i]
+		vec[i].hdr.Iovlen = 1
+	}
+	n, _, errno := syscall.Syscall6(sysRecvmmsg,
+		uintptr(fd), uintptr(unsafe.Pointer(&vec[0])), uintptr(len(vec)),
+		uintptr(syscall.MSG_DONTWAIT), 0, 0)
+	if errno != 0 {
+		return int(n), errno
+	}
+	for i := 0; i < int(n); i++ {
+		dgs[i].N = int(vec[i].mlen)
+	}
+	return int(n), nil
+}
+
+// pollFD mirrors struct pollfd.
+type pollFD struct {
+	fd      int32
+	events  int16
+	revents int16
+}
+
+const pollIn = 0x1
+
+// waitReadable blocks via ppoll until one of the two sockets is readable or
+// the timeout elapses (nil: wait forever). Unlike select(2) this carries no
+// FD_SETSIZE ceiling, so descriptors above 1024 — routine in a process that
+// opens one Transport per campaign worker — work unchanged.
+func waitReadable(fd1, fd2 int, tmo *syscall.Timespec) (r1, r2 bool, err error) {
+	pfds := [2]pollFD{
+		{fd: int32(fd1), events: pollIn},
+		{fd: int32(fd2), events: pollIn},
+	}
+	n, _, errno := syscall.Syscall6(sysPpoll,
+		uintptr(unsafe.Pointer(&pfds[0])), 2,
+		uintptr(unsafe.Pointer(tmo)), 0, 0, 0)
+	if errno != 0 {
+		return false, false, errno
+	}
+	if n == 0 {
+		return false, false, nil
+	}
+	return pfds[0].revents&pollIn != 0, pfds[1].revents&pollIn != 0, nil
+}

@@ -1,0 +1,54 @@
+//go:build linux && !amd64 && !arm64
+
+package live
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// Architectures without a vetted mmsghdr layout take the per-packet
+// Sendto/Recvfrom path; the transport semantics are identical, only the
+// syscall amortization is lost.
+
+const haveMmsg = false
+
+func sendmmsg(fd int, dgs []Datagram) (int, error) { return 0, syscall.ENOSYS }
+
+func recvmmsg(fd int, dgs []Datagram) (int, error) { return 0, syscall.ENOSYS }
+
+// fdBits is the width of one FdSet.Bits word (64 on LP64, 32 on ILP32).
+var fdBits = 8 * int(unsafe.Sizeof(syscall.FdSet{}.Bits[0]))
+
+// waitReadable blocks via select until one of the two sockets is readable
+// or the timeout elapses (nil: wait forever). select carries the
+// FD_SETSIZE ceiling, so out-of-range descriptors are rejected with a
+// clear error instead of indexing past the bit set.
+func waitReadable(fd1, fd2 int, tmo *syscall.Timespec) (r1, r2 bool, err error) {
+	var rfds syscall.FdSet
+	limit := fdBits * len(rfds.Bits)
+	if fd1 >= limit || fd2 >= limit {
+		return false, false, fmt.Errorf("live: descriptor beyond select's FD_SETSIZE (%d); lower the process's open-file count", limit)
+	}
+	rfds.Bits[fd1/fdBits] |= 1 << (uint(fd1) % uint(fdBits))
+	rfds.Bits[fd2/fdBits] |= 1 << (uint(fd2) % uint(fdBits))
+	maxFD := fd1
+	if fd2 > maxFD {
+		maxFD = fd2
+	}
+	var tvp *syscall.Timeval
+	if tmo != nil {
+		tv := syscall.NsecToTimeval(tmo.Nano())
+		tvp = &tv
+	}
+	n, err := syscall.Select(maxFD+1, &rfds, nil, nil, tvp)
+	if err != nil {
+		return false, false, err
+	}
+	if n == 0 {
+		return false, false, nil
+	}
+	return rfds.Bits[fd1/fdBits]&(1<<(uint(fd1)%uint(fdBits))) != 0,
+		rfds.Bits[fd2/fdBits]&(1<<(uint(fd2)%uint(fdBits))) != 0, nil
+}

@@ -1,0 +1,47 @@
+package live
+
+import (
+	"errors"
+	"time"
+)
+
+// Datagram is one packet in a batched socket operation. On send, Buf holds
+// the complete serialized IPv4 probe (header included — the raw socket is
+// opened with IP_HDRINCL so every header field the probe builders craft goes
+// on the wire verbatim) and Dst the IPv4 address it is addressed to. On
+// receive, Buf is the caller-owned buffer the socket fills and N the number
+// of valid bytes.
+type Datagram struct {
+	Buf []byte
+	N   int
+	Dst [4]byte
+}
+
+// ErrTimeout is returned by PacketConn.ReadBatch when the read deadline
+// passes with no datagram available. The transport's deadline wheel treats
+// it as the expiry signal for the probes still in flight.
+var ErrTimeout = errors.New("live: receive timeout")
+
+// PacketConn is the syscall seam under the live transport: everything the
+// batching, demultiplexing, timeout and retry logic needs from the kernel,
+// and nothing else. The real implementation (dialRaw, Linux only) backs it
+// with raw sockets and the sendmmsg/recvmmsg batch syscalls; tests back it
+// with an in-process fake that can reorder, drop, duplicate and delay
+// responses, which is what lets the entire live path run hermetically.
+type PacketConn interface {
+	// WriteBatch sends every datagram, in order, in as few syscalls as the
+	// platform allows (one sendmmsg per call on Linux). It returns the
+	// number of datagrams sent; n < len(dgs) only alongside a non-nil
+	// error.
+	WriteBatch(dgs []Datagram) (int, error)
+	// ReadBatch blocks until at least one inbound datagram is available or
+	// the deadline set by SetReadDeadline passes, then fills as many
+	// entries of dgs as are immediately ready (one recvmmsg sweep) and
+	// returns how many. A deadline expiry returns 0, ErrTimeout.
+	ReadBatch(dgs []Datagram) (int, error)
+	// SetReadDeadline bounds subsequent ReadBatch calls. The zero time
+	// means no deadline.
+	SetReadDeadline(t time.Time) error
+	// Close releases the underlying sockets.
+	Close() error
+}

@@ -1,0 +1,224 @@
+//go:build linux
+
+package live
+
+import (
+	"fmt"
+	"net/netip"
+	"syscall"
+	"time"
+)
+
+// rawConn is the real PacketConn: an IP_HDRINCL raw socket for injection
+// and two shared raw receive sockets — IPPROTO_ICMP for errors and echo
+// replies, IPPROTO_TCP for RST/SYN-ACK terminals. Batches go through
+// sendmmsg/recvmmsg where the architecture support is compiled in
+// (mmsg_linux_*.go) and degrade to per-packet syscalls otherwise.
+type rawConn struct {
+	sendFD   int
+	icmpFD   int
+	tcpFD    int
+	deadline time.Time
+}
+
+// dialRaw opens the raw sockets. Requires root or CAP_NET_RAW.
+func dialRaw() (PacketConn, error) {
+	sendFD, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_RAW)
+	if err != nil {
+		return nil, fmt.Errorf("live: raw send socket (need root or CAP_NET_RAW): %w", err)
+	}
+	if err := syscall.SetsockoptInt(sendFD, syscall.IPPROTO_IP, syscall.IP_HDRINCL, 1); err != nil {
+		syscall.Close(sendFD)
+		return nil, fmt.Errorf("live: IP_HDRINCL: %w", err)
+	}
+	icmpFD, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_ICMP)
+	if err != nil {
+		syscall.Close(sendFD)
+		return nil, fmt.Errorf("live: raw ICMP receive socket: %w", err)
+	}
+	tcpFD, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_TCP)
+	if err != nil {
+		syscall.Close(sendFD)
+		syscall.Close(icmpFD)
+		return nil, fmt.Errorf("live: raw TCP receive socket: %w", err)
+	}
+	for _, fd := range []int{icmpFD, tcpFD} {
+		if err := syscall.SetNonblock(fd, true); err != nil {
+			syscall.Close(sendFD)
+			syscall.Close(icmpFD)
+			syscall.Close(tcpFD)
+			return nil, fmt.Errorf("live: set nonblocking: %w", err)
+		}
+	}
+	return &rawConn{sendFD: sendFD, icmpFD: icmpFD, tcpFD: tcpFD}, nil
+}
+
+// Available reports whether this process can open the raw sockets the live
+// transport needs (nil means yes). It opens and immediately closes them.
+func Available() error {
+	c, err := dialRaw()
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// Close implements PacketConn.
+func (c *rawConn) Close() error {
+	e1 := syscall.Close(c.sendFD)
+	e2 := syscall.Close(c.icmpFD)
+	e3 := syscall.Close(c.tcpFD)
+	if e1 != nil {
+		return e1
+	}
+	if e2 != nil {
+		return e2
+	}
+	return e3
+}
+
+// SetReadDeadline implements PacketConn.
+func (c *rawConn) SetReadDeadline(t time.Time) error {
+	c.deadline = t
+	return nil
+}
+
+// WriteBatch implements PacketConn: sendmmsg where supported (resuming
+// after partial acceptance, so n < len(dgs) is only ever returned alongside
+// an error, as the seam contract requires), a Sendto loop otherwise.
+func (c *rawConn) WriteBatch(dgs []Datagram) (int, error) {
+	sent := 0
+	for sent < len(dgs) {
+		if haveMmsg {
+			n, err := sendmmsg(c.sendFD, dgs[sent:])
+			if n > 0 {
+				// Partial acceptance (e.g. transient ENOBUFS mid-batch):
+				// resume with the unsent tail rather than reporting the
+				// probes as sent-or-failed wholesale.
+				sent += n
+				continue
+			}
+			if err == syscall.EINTR {
+				continue
+			}
+			if err != nil && err != syscall.ENOSYS {
+				return sent, fmt.Errorf("live: sendmmsg: %w", err)
+			}
+			// ENOSYS (kernel without the syscall): per-packet below.
+		}
+		dg := &dgs[sent]
+		sa := &syscall.SockaddrInet4{Addr: dg.Dst}
+		if err := syscall.Sendto(c.sendFD, dg.Buf, 0, sa); err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return sent, fmt.Errorf("live: sendto %v: %w", netip.AddrFrom4(dg.Dst), err)
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// ReadBatch implements PacketConn: wait on both receive sockets until the
+// deadline (ppoll on architectures with the batch syscalls compiled in,
+// bounds-checked select otherwise), then drain whatever is ready with one
+// recvmmsg sweep per socket.
+func (c *rawConn) ReadBatch(dgs []Datagram) (int, error) {
+	if len(dgs) == 0 {
+		return 0, nil
+	}
+	for {
+		var tsp *syscall.Timespec
+		if !c.deadline.IsZero() {
+			remain := time.Until(c.deadline)
+			if remain <= 0 {
+				return 0, ErrTimeout
+			}
+			ts := syscall.NsecToTimespec(remain.Nanoseconds())
+			tsp = &ts
+		}
+		icmpReady, tcpReady, err := waitReadable(c.icmpFD, c.tcpFD, tsp)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return 0, fmt.Errorf("live: poll: %w", err)
+		}
+		if !icmpReady && !tcpReady {
+			return 0, ErrTimeout
+		}
+		filled := 0
+		for _, r := range []struct {
+			fd    int
+			ready bool
+		}{{c.icmpFD, icmpReady}, {c.tcpFD, tcpReady}} {
+			if filled == len(dgs) || !r.ready {
+				continue
+			}
+			m, err := c.drain(r.fd, dgs[filled:])
+			if err != nil {
+				return filled, err
+			}
+			filled += m
+		}
+		if filled > 0 {
+			return filled, nil
+		}
+		// Readiness without data (consumed elsewhere, checksum drop):
+		// wait again within the same deadline.
+	}
+}
+
+// drain reads every immediately-available datagram from fd: one recvmmsg
+// where supported, a nonblocking Recvfrom loop otherwise.
+func (c *rawConn) drain(fd int, dgs []Datagram) (int, error) {
+	if haveMmsg {
+		n, err := recvmmsg(fd, dgs)
+		if err == nil || n > 0 {
+			return n, nil
+		}
+		if err == syscall.EAGAIN {
+			return 0, nil
+		}
+	}
+	filled := 0
+	for filled < len(dgs) {
+		n, _, err := syscall.Recvfrom(fd, dgs[filled].Buf, syscall.MSG_DONTWAIT)
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+			break
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return filled, fmt.Errorf("live: recvfrom: %w", err)
+		}
+		dgs[filled].N = n
+		filled++
+	}
+	return filled, nil
+}
+
+// LocalIPv4 guesses the host's primary IPv4 address by opening a UDP socket
+// toward a public address (no packets are sent).
+func LocalIPv4() (netip.Addr, error) {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM, 0)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	defer syscall.Close(fd)
+	if err := syscall.Connect(fd, &syscall.SockaddrInet4{
+		Addr: [4]byte{192, 0, 2, 1}, Port: 53,
+	}); err != nil {
+		return netip.Addr{}, err
+	}
+	sa, err := syscall.Getsockname(fd)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	sa4, ok := sa.(*syscall.SockaddrInet4)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("live: unexpected sockaddr %T", sa)
+	}
+	return netip.AddrFrom4(sa4.Addr), nil
+}

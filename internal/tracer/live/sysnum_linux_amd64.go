@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package live
+
+// Syscall numbers missing from the frozen standard-library table.
+const (
+	sysSendmmsg uintptr = 307
+	sysRecvmmsg uintptr = 299
+	sysPpoll    uintptr = 271
+)

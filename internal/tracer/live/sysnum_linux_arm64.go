@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package live
+
+// Syscall numbers missing from the frozen standard-library table.
+const (
+	sysSendmmsg uintptr = 269
+	sysRecvmmsg uintptr = 243
+	sysPpoll    uintptr = 73
+)
