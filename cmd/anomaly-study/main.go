@@ -7,6 +7,7 @@
 // Usage:
 //
 //	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-stream] [-seed N] [-paper]
+//	anomaly-study -checkpoint ck.json [-checkpoint-every N] [-resume] [-stats-json out.json]
 //	anomaly-study -live -live-dests A.B.C.D[,...] [-rounds N] [-batch] [-stream]
 //
 // -live swaps the simulator for the raw-socket transport
@@ -14,6 +15,21 @@
 // against the real destinations in -live-dests; raw sockets need root or
 // CAP_NET_RAW, and the tool exits with an explanation when they are
 // unavailable.
+//
+// The campaign is fault tolerant and resumable. SIGINT/SIGTERM stop it at
+// the next destination boundary, print the partial statistics, and — with
+// -checkpoint set — leave a checkpoint a later -resume run continues from,
+// re-running only the rounds after the last checkpointed one. A simulator
+// campaign resumed with the same flags reproduces the uninterrupted run's
+// statistics exactly when run with -workers 1 -flips=false (the
+// schedule-free configuration; see internal/measure's package doc).
+// -halt-after N stops the campaign after N completed rounds — the
+// deterministic stand-in for a mid-study kill that the CI resume check
+// uses. -fail-fast restores the historical abort-on-first-error policy;
+// the default policy retries transient trace failures with exponential
+// backoff and quarantines destinations that keep failing (the report then
+// carries a fault-tolerance line). -stats-json writes the final statistics
+// as canonical JSON for byte-level comparison across runs.
 //
 // -paper selects the paper's full-scale study — 5,000 destinations and,
 // unless -rounds is given explicitly, the complete 556 rounds. -shards
@@ -32,14 +48,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/netsim"
 	"repro/internal/topo"
 	"repro/internal/tracer/live"
 )
@@ -59,10 +81,37 @@ func main() {
 	liveDests := flag.String("live-dests", "", "comma-separated IPv4 destinations for -live")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
+	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate)")
+	failFast := flag.Bool("fail-fast", false, "abort the campaign on the first trace error instead of retrying and quarantining")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for resumable campaigns (requires -stream)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "write the checkpoint every N completed rounds")
+	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint instead of starting over")
+	statsJSON := flag.String("stats-json", "", "write the final statistics as canonical JSON to this file")
+	haltAfter := flag.Int("halt-after", 0, "stop after N completed rounds (testing aid for checkpoint/resume)")
+	flips := flag.Bool("flips", true, "enable mid-trace path flips (disable for byte-reproducible resume)")
 	flag.Parse()
 
+	if *checkpoint != "" && !*stream {
+		fmt.Fprintln(os.Stderr, "anomaly-study: -checkpoint requires -stream")
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "anomaly-study: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	haltRequested := false
+	haltCancel := context.CancelFunc(func() {})
+	if *haltAfter > 0 {
+		ctx, haltCancel = context.WithCancel(ctx)
+		defer haltCancel()
+	}
+
 	if *liveMode {
-		if err := runLive(*liveDests, *rounds, *workers, *batch, *stream, *foldEvery, *seed, *timeout, *retries); err != nil {
+		if err := runLive(ctx, *liveDests, *rounds, *workers, *batch, *stream, *foldEvery, *seed,
+			*timeout, *retries, *retryBackoff, *failFast, *checkpoint, *checkpointEvery); err != nil {
 			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 			os.Exit(2)
 		}
@@ -88,29 +137,76 @@ func main() {
 	if !*paper {
 		cfg.Destinations = *dests
 	}
+	if !*flips {
+		// Mid-trace flips draw from an unreplayable per-probe stream; a
+		// flip-free topology is what makes a resumed run byte-reproducible.
+		cfg.FlipPerProbe = 0
+	}
 
 	sc := topo.Generate(cfg)
 	if *truth {
 		fmt.Printf("ground truth: %+v\n\n", sc.Truth)
 	}
 
+	roundStart := sc.RoundStart
+	if *haltAfter > 0 {
+		inner, halt := roundStart, *haltAfter
+		roundStart = func(r int) {
+			if r >= halt {
+				haltRequested = true
+				haltCancel()
+			}
+			inner(r)
+		}
+	}
+
 	camp, err := measure.NewCampaign(sc.Transport(), measure.Config{
-		Dests:      sc.Dests,
-		Rounds:     *rounds,
-		Workers:    *workers,
-		RoundStart: sc.RoundStart,
-		PortSeed:   *seed,
-		ShardOf:    sc.ShardOf,
-		Batch:      *batch,
-		Stream:     *stream,
-		FoldEvery:  *foldEvery,
+		Dests:           sc.Dests,
+		Rounds:          *rounds,
+		Workers:         *workers,
+		RoundStart:      roundStart,
+		PortSeed:        *seed,
+		ShardOf:         sc.ShardOf,
+		Batch:           *batch,
+		Stream:          *stream,
+		FoldEvery:       *foldEvery,
+		FailFast:        *failFast,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		TransportState:  probeCounters(sc.Nets),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 		os.Exit(1)
 	}
-	res, err := camp.Run()
-	if err != nil {
+	if *resume {
+		ck, err := measure.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
+			os.Exit(1)
+		}
+		if err := restoreProbeCounters(sc.Nets, ck.Transport); err != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
+			os.Exit(1)
+		}
+		if err := camp.Resume(ck); err != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
+			os.Exit(1)
+		}
+	}
+
+	res, err := camp.RunContext(ctx)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) && res != nil:
+		// Interrupted (signal or -halt-after): the partial statistics below
+		// are advisory; the checkpoint, when enabled, holds the resumable
+		// truth.
+		fmt.Fprintln(os.Stderr, "anomaly-study: interrupted:", err)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "anomaly-study: rerun with -resume to continue from %s\n", *checkpoint)
+		}
+	default:
 		fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 		os.Exit(1)
 	}
@@ -119,13 +215,73 @@ func main() {
 		stats = measure.Analyze(res)
 	}
 	measure.WriteReport(os.Stdout, stats, sc.AS)
+	if err == nil && *statsJSON != "" {
+		if werr := writeStatsJSON(*statsJSON, stats); werr != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", werr)
+			os.Exit(1)
+		}
+	}
+	if err != nil && !haltRequested {
+		os.Exit(130) // interrupted by a signal
+	}
+}
+
+// probeCounters serializes each shard network's probe counter — the only
+// transport cursor a resumed simulator campaign needs to replay per-packet
+// schedules exactly.
+func probeCounters(nets []*netsim.Network) func() json.RawMessage {
+	return func() json.RawMessage {
+		counts := make([]int, len(nets))
+		for i, n := range nets {
+			counts[i] = n.ProbeCount()
+		}
+		b, err := json.Marshal(struct{ ProbeCounts []int }{counts})
+		if err != nil {
+			return nil
+		}
+		return b
+	}
+}
+
+// restoreProbeCounters rewinds each shard network to the checkpointed probe
+// counter before the resumed campaign starts probing.
+func restoreProbeCounters(nets []*netsim.Network, raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var st struct{ ProbeCounts []int }
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("checkpoint transport state: %w", err)
+	}
+	if len(st.ProbeCounts) != len(nets) {
+		return fmt.Errorf("checkpoint transport state covers %d shards, campaign has %d", len(st.ProbeCounts), len(nets))
+	}
+	for i, n := range nets {
+		n.SetProbeCount(st.ProbeCounts[i])
+	}
+	return nil
+}
+
+// writeStatsJSON writes the statistics as canonical JSON (sorted keys,
+// stable indentation): two equal Stats values serialize to identical bytes,
+// which is what the resume acceptance check compares.
+func writeStatsJSON(path string, stats *measure.Stats) error {
+	b, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // runLive runs the same paired-trace campaign against the real network over
 // the raw-socket transport. It fails with a clear explanation when raw
 // sockets are unavailable (root or CAP_NET_RAW required) so the study never
-// half-runs without privileges.
-func runLive(destList string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout time.Duration, retries int) error {
+// half-runs without privileges. The context cancels both the campaign loop
+// and the transport's in-flight deadline wheel, so an interrupt drains
+// within one probe timeout; with -checkpoint set an interrupted live study
+// resumes its round cursor and quarantine state (live responses themselves
+// are not replayable, so resumed statistics are not byte-stable).
+func runLive(ctx context.Context, destList string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout time.Duration, retries int, retryBackoff time.Duration, failFast bool, checkpoint string, checkpointEvery int) error {
 	if destList == "" {
 		return fmt.Errorf("-live requires -live-dests A.B.C.D[,A.B.C.D...]")
 	}
@@ -141,28 +297,37 @@ func runLive(destList string, rounds, workers int, batch, stream bool, foldEvery
 	if err != nil {
 		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries})
+	tp, err := live.New(live.Config{
+		Source: src, Timeout: timeout, Retries: retries,
+		RetryBackoff: retryBackoff, Context: ctx,
+	})
 	if err != nil {
 		return fmt.Errorf("live probing unavailable: %w", err)
 	}
 	defer tp.Close()
 
 	camp, err := measure.NewCampaign(tp, measure.Config{
-		Dests:     dsts,
-		Rounds:    rounds,
-		Workers:   workers,
-		MinTTL:    1,
-		PortSeed:  seed,
-		Batch:     batch,
-		Stream:    stream,
-		FoldEvery: foldEvery,
+		Dests:           dsts,
+		Rounds:          rounds,
+		Workers:         workers,
+		MinTTL:          1,
+		PortSeed:        seed,
+		Batch:           batch,
+		Stream:          stream,
+		FoldEvery:       foldEvery,
+		FailFast:        failFast,
+		CheckpointPath:  checkpoint,
+		CheckpointEvery: checkpointEvery,
 	})
 	if err != nil {
 		return err
 	}
-	res, err := camp.Run()
-	if err != nil {
+	res, err := camp.RunContext(ctx)
+	if err != nil && !(errors.Is(err, context.Canceled) && res != nil) {
 		return err
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anomaly-study: interrupted:", err)
 	}
 	stats := res.Stats
 	if stats == nil {

@@ -27,10 +27,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -59,7 +62,11 @@ func main() {
 		err  error
 	)
 	if *liveMode {
-		tp, dest, err = buildLive(*liveDest, *timeout, *retries)
+		// Ctrl-C mid-trace cancels the in-flight deadline wheel instead of
+		// waiting out the remaining probe timeouts.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		tp, dest, err = buildLive(ctx, *liveDest, *timeout, *retries)
 	} else {
 		tp, dest, err = buildScenario(*scenario, *seed, *shards)
 	}
@@ -136,7 +143,7 @@ func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
 
 // buildLive opens the raw-socket transport, failing with a clear
 // explanation when the capability is missing.
-func buildLive(destStr string, timeout time.Duration, retries int) (tracer.Transport, netip.Addr, error) {
+func buildLive(ctx context.Context, destStr string, timeout time.Duration, retries int) (tracer.Transport, netip.Addr, error) {
 	if destStr == "" {
 		return nil, netip.Addr{}, fmt.Errorf("-live requires -dest A.B.C.D")
 	}
@@ -148,7 +155,7 @@ func buildLive(destStr string, timeout time.Duration, retries int) (tracer.Trans
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries})
+	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, Context: ctx})
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("live probing unavailable: %w", err)
 	}

@@ -36,12 +36,57 @@
 //
 // Streaming and materialize-then-Analyze produce byte-identical Stats (one
 // implementation, pinned by TestCampaignStreamInvariance).
+//
+// # Error policy
+//
+// A 556-round campaign on the real Internet meets failures a hermetic
+// simulation never shows, so by default the campaign degrades instead of
+// aborting. Transports classify their failures with the tracer taxonomy
+// (tracer.IsTransient); a pair whose trace fails transiently is retried up
+// to Config.MaxAttempts times with exponential, seeded-jitter backoff
+// (Config.RetryBackoff/RetryBackoffMax, waits through Config.Sleep so tests
+// inject a clock). A pair still failing — or failing fatally — is recorded
+// as an explicit Outcome Failed pair (no routes) and charges the
+// destination's error budget; after Config.QuarantineAfter consecutive
+// failed rounds the destination is quarantined and its remaining rounds are
+// recorded as Skipped pairs without probing. One successful pair resets the
+// budget. Failed and Skipped pairs fold into Stats.Robust (probed/failed/
+// skipped/quarantined accounting) and never touch the anomaly statistics.
+// Config.FailFast restores the historical semantics: the first error aborts
+// the round and fails the campaign. Cancellation of the RunContext context
+// is always fatal-but-graceful: workers stop at the next destination, the
+// partial round is never checkpointed, and Run returns the context's error
+// alongside the partial statistics.
+//
+// # Checkpointing
+//
+// With Config.CheckpointPath set on a streaming campaign, the campaign
+// serializes its resumable state every Config.CheckpointEvery completed
+// rounds: the per-worker accumulator partials (interned routes with full
+// hop data, scalar tallies, signature spans — the memo and graph layers are
+// rebuilt on load by replaying the interned routes through the same
+// analysis code), the per-destination error budgets, the batching path
+// hints, an opaque Config.TransportState payload, and the next round to
+// run. Files are written atomically (temp file + rename), so a kill leaves
+// either the previous or the new checkpoint, never a torn one. See the
+// Checkpoint type for the format and compatibility contract; Resume
+// validates a config digest so a checkpoint can only continue the campaign
+// shape that wrote it. A resumed streaming campaign replays RoundStart for
+// the completed rounds and produces statistics byte-identical to the
+// uninterrupted run whenever the transport's dynamics are themselves
+// replayable (see topo.Generate: FlipPerProbe must be zero) and the
+// campaign runs one worker per shard-free run or any worker count with
+// schedule-free topologies (the same conditions under which two plain runs
+// are byte-identical).
 package measure
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/netip"
 	"sync"
+	"time"
 
 	"repro/internal/tracer"
 )
@@ -103,6 +148,48 @@ type Config struct {
 	// Statistics are identical for every K — batching defers folds but
 	// never reorders them. Ignored unless Stream is set.
 	FoldEvery int
+
+	// FailFast restores the historical abort semantics: the first trace
+	// error any worker hits stops the round and fails the campaign. By
+	// default (false) the campaign degrades instead — see the package
+	// comment's error-policy contract.
+	FailFast bool
+	// MaxAttempts bounds the tries per pair per round (the first try
+	// included) when a trace fails transiently; fatal errors are never
+	// retried. Zero selects 3. Ignored with FailFast.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a retry: attempt k waits
+	// RetryBackoff << (k-1), capped by RetryBackoffMax and scaled by a
+	// jitter factor in [0.5, 1.5) seeded from (PortSeed, destination,
+	// round, attempt) — deterministic per campaign, decorrelated across
+	// destinations. Zero selects 100ms.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff. Zero selects 2s.
+	RetryBackoffMax time.Duration
+	// QuarantineAfter is the per-destination error budget: after this many
+	// consecutive failed rounds the destination is quarantined — recorded
+	// as Skipped, never probed again this campaign. A successful pair
+	// resets the count. Zero selects 3. Ignored with FailFast.
+	QuarantineAfter int
+	// Sleep replaces time.Sleep for retry backoff waits; tests inject a
+	// recording no-op so retry schedules are asserted without real delays.
+	// Nil sleeps for real.
+	Sleep func(time.Duration)
+
+	// CheckpointPath, when set on a streaming campaign, persists a
+	// resumable checkpoint to this path after every CheckpointEvery
+	// completed rounds (atomic temp-file + rename). See the package
+	// comment's checkpointing contract and the Checkpoint type.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in completed rounds. Zero
+	// selects 1 (every round) — with it, the checkpoint on disk at any
+	// kill is exactly the last completed round boundary.
+	CheckpointEvery int
+	// TransportState, when set, is invoked at each checkpoint and its
+	// payload stored verbatim in Checkpoint.Transport. The campaign never
+	// interprets it: binaries use it to persist transport cursors (e.g.
+	// netsim probe counters) and restore them before resuming.
+	TransportState func() json.RawMessage
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -125,17 +212,63 @@ func (c Config) withDefaults() Config {
 	if c.FoldEvery <= 0 {
 		c.FoldEvery = DefaultFoldEvery
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 2 * time.Second
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
+}
+
+// Outcome classifies what a campaign pair represents. The zero value is
+// OutcomeOK, so hand-built pairs keep their historical meaning.
+type Outcome int
+
+const (
+	// OutcomeOK is a successfully measured pair; both routes are present.
+	OutcomeOK Outcome = iota
+	// OutcomeFailed is a pair whose measurement failed after the retry
+	// budget (or fatally); both routes are nil, nothing was measured.
+	OutcomeFailed
+	// OutcomeSkipped is a pair never attempted because its destination was
+	// quarantined by the error budget; both routes are nil.
+	OutcomeSkipped
+)
+
+// String renders the outcome for logs and reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
 // Pair is one destination's paired measurement in one round: the Paris
 // trace and the classic trace, taken close together in time to minimise
-// routing-dynamics skew (Section 4.1.2).
+// routing-dynamics skew (Section 4.1.2). Under the default error policy a
+// pair may instead record a failure or a quarantine skip — Outcome says
+// which, and the routes are nil for anything but OutcomeOK.
 type Pair struct {
 	Dest    netip.Addr
 	Round   int
 	Paris   *tracer.Route
 	Classic *tracer.Route
+	Outcome Outcome
 }
 
 // Results collects a campaign's output. Without Config.Stream, Rounds
@@ -179,6 +312,25 @@ type Campaign struct {
 	// per pair per round was wasted work. Only the classic tracer's
 	// per-(round, destination) pseudo-PID source port stays per-round.
 	parisSrc, parisDst []uint16
+	// resume, when non-nil, is the state loaded by Resume; the next
+	// RunContext consumes it and continues from its round cursor.
+	resume *resumeState
+}
+
+// destHealth is one destination's error budget: how many consecutive rounds
+// have failed, and whether the budget is exhausted. Each slot is owned by
+// the single worker whose plan covers the destination, so no locking.
+type destHealth struct {
+	consecFails int
+	quarantined bool
+}
+
+// resumeState carries a loaded checkpoint into the next RunContext call.
+type resumeState struct {
+	nextRound           int
+	accs                []*Accumulator
+	health              []destHealth
+	parisHint, clasHint []int
 }
 
 // NewCampaign creates a campaign; cfg.Dests must be non-empty and free of
@@ -297,9 +449,20 @@ func portFor(seed int64, dest netip.Addr, salt uint64) uint16 {
 // Run executes every round and returns the collected results: the retained
 // pairs, or, with Config.Stream, the merged statistics of per-worker
 // accumulators that consumed each pair as it completed. Run may be called
-// repeatedly; a streaming run starts from fresh accumulators each time.
-func (c *Campaign) Run() (*Results, error) {
+// repeatedly; a streaming run starts from fresh accumulators each time
+// (unless Resume loaded a checkpoint first). Run is RunContext with a
+// background context.
+func (c *Campaign) Run() (*Results, error) { return c.RunContext(context.Background()) }
+
+// RunContext is Run with prompt cancellation: when ctx is canceled the
+// workers stop at their next destination, the interrupted round is never
+// checkpointed, and RunContext returns the context's error together with
+// the partial results measured so far (a streaming campaign still merges
+// its partials into advisory Stats — callers wanting only complete rounds
+// should resume from the checkpoint instead).
+func (c *Campaign) RunContext(ctx context.Context) (*Results, error) {
 	res := &Results{Config: c.cfg}
+	health := make([]destHealth, len(c.cfg.Dests))
 	var accs []*Accumulator
 	var rings []foldRing
 	if c.cfg.Stream {
@@ -309,16 +472,65 @@ func (c *Campaign) Run() (*Results, error) {
 		}
 		rings = make([]foldRing, c.cfg.Workers)
 	}
-	for r := 0; r < c.cfg.Rounds; r++ {
+	start := 0
+	if rs := c.resume; rs != nil {
+		c.resume = nil
+		start = rs.nextRound
+		copy(health, rs.health)
+		if c.cfg.Stream {
+			accs = rs.accs
+		}
+		if c.cfg.Batch {
+			copy(c.parisHint, rs.parisHint)
+			copy(c.clasHint, rs.clasHint)
+		}
+		// Replay the completed rounds' dynamics draws so the resumed
+		// rounds see the same topology evolution the uninterrupted run
+		// would have (topo.Generate's RoundStart draws sequentially from
+		// one seeded stream).
+		if c.cfg.RoundStart != nil {
+			for r := 0; r < start; r++ {
+				c.cfg.RoundStart(r)
+			}
+		}
+	}
+	canceled := false
+	for r := start; r < c.cfg.Rounds; r++ {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
 		if c.cfg.RoundStart != nil {
 			c.cfg.RoundStart(r)
 		}
-		pairs, err := c.runRound(r, accs, rings)
+		pairs, err := c.runRound(ctx, r, accs, rings, health)
 		if err != nil {
 			return nil, err
 		}
+		if ctx.Err() != nil {
+			// The round was interrupted partway: its partial folds stay
+			// in the accumulators for the advisory partial Stats below,
+			// but the checkpoint cursor never advances past a round that
+			// did not complete.
+			canceled = true
+			break
+		}
 		if !c.cfg.Stream {
 			res.Rounds = append(res.Rounds, pairs)
+		}
+		if c.cfg.Stream && c.cfg.CheckpointPath != "" &&
+			((r+1)%c.cfg.CheckpointEvery == 0 || r == c.cfg.Rounds-1) {
+			// Drain the fold rings first: between rounds the caller
+			// goroutine holds the happens-before edge from wg.Wait, so
+			// the flush is race-free and the accumulators hold exactly
+			// the completed rounds.
+			for w := range rings {
+				rings[w].flush(accs[w])
+			}
+			ck := c.checkpoint(r+1, accs, health)
+			if err := ck.Save(c.cfg.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("measure: checkpoint after round %d: %w", r, err)
+			}
 		}
 	}
 	if c.cfg.Stream {
@@ -330,6 +542,9 @@ func (c *Campaign) Run() (*Results, error) {
 		}
 		res.Stats = Merge(c.cfg.Rounds, len(c.cfg.Dests), accs...)
 	}
+	if canceled {
+		return res, ctx.Err()
+	}
 	return res, nil
 }
 
@@ -338,11 +553,14 @@ func (c *Campaign) Run() (*Results, error) {
 // probe 1/32 of the destinations; sharded campaigns use shard-affine
 // shares). With accs non-nil (streaming), worker w folds each pair into
 // accs[w] the moment it completes and nothing is retained; otherwise the
-// pairs are collected into a slice. The first error any worker hits aborts
-// the whole round: a done channel closed under a sync.Once stops the
-// remaining workers at their next destination instead of letting them probe
-// out their slices silently.
-func (c *Campaign) runRound(round int, accs []*Accumulator, rings []foldRing) ([]Pair, error) {
+// pairs are collected into a slice. Under the default error policy
+// measureDest absorbs failures into Failed/Skipped pairs and runRound never
+// errors; with FailFast the first error any worker hits aborts the whole
+// round — a stop channel closed under a sync.Once halts the remaining
+// workers at their next destination instead of letting them probe out their
+// slices silently. Context cancellation stops workers the same way in both
+// modes, without an error of its own (the caller reads ctx.Err()).
+func (c *Campaign) runRound(ctx context.Context, round int, accs []*Accumulator, rings []foldRing, health []destHealth) ([]Pair, error) {
 	dests := c.cfg.Dests
 	var out []Pair
 	if accs == nil {
@@ -365,9 +583,11 @@ func (c *Campaign) runRound(round int, accs []*Accumulator, rings []foldRing) ([
 				select {
 				case <-stop:
 					return
+				case <-ctx.Done():
+					return
 				default:
 				}
-				p, err := c.measureOne(w, round, i, dests[i])
+				p, err := c.measureDest(ctx, w, round, i, dests[i], &health[i])
 				if err != nil {
 					stopOnce.Do(func() {
 						firstErr = err
@@ -388,6 +608,67 @@ func (c *Campaign) runRound(round int, accs []*Accumulator, rings []foldRing) ([
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// measureDest applies the error policy around one destination's pair: skip
+// when quarantined, retry transient failures with seeded-jitter backoff,
+// charge the error budget on exhaustion. With FailFast it is measureOne
+// plus nothing — errors propagate and abort the round.
+func (c *Campaign) measureDest(ctx context.Context, w, round, idx int, d netip.Addr, h *destHealth) (Pair, error) {
+	if !c.cfg.FailFast && h.quarantined {
+		return Pair{Dest: d, Round: round, Outcome: OutcomeSkipped}, nil
+	}
+	p, err := c.measureOne(w, round, idx, d)
+	if err == nil {
+		h.consecFails = 0
+		return p, nil
+	}
+	if c.cfg.FailFast {
+		return Pair{}, err
+	}
+	for attempt := 1; attempt < c.cfg.MaxAttempts && tracer.IsTransient(err) && ctx.Err() == nil; attempt++ {
+		c.sleep(c.backoff(d, round, attempt))
+		if p, err = c.measureOne(w, round, idx, d); err == nil {
+			h.consecFails = 0
+			return p, nil
+		}
+	}
+	h.consecFails++
+	if h.consecFails >= c.cfg.QuarantineAfter {
+		h.quarantined = true
+	}
+	return Pair{Dest: d, Round: round, Outcome: OutcomeFailed}, nil
+}
+
+// backoff is the delay before retry attempt k (1-based): exponential from
+// RetryBackoff, capped at RetryBackoffMax, scaled by a jitter factor in
+// [0.5, 1.5) drawn from a SplitMix64 hash of (PortSeed, destination, round,
+// attempt) — deterministic for a campaign, decorrelated across destinations
+// so synchronized failures do not retry in lockstep.
+func (c *Campaign) backoff(d netip.Addr, round, attempt int) time.Duration {
+	delay := c.cfg.RetryBackoff << (attempt - 1)
+	if delay <= 0 || delay > c.cfg.RetryBackoffMax {
+		delay = c.cfg.RetryBackoffMax
+	}
+	a := d.As4()
+	x := uint64(c.cfg.PortSeed)
+	x ^= uint64(a[0])<<24 | uint64(a[1])<<16 | uint64(a[2])<<8 | uint64(a[3])
+	x ^= uint64(round)<<32 ^ uint64(attempt)<<56
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	jitter := 0.5 + float64(x>>11)/float64(1<<53)
+	return time.Duration(float64(delay) * jitter)
+}
+
+// sleep waits through the configured seam (tests) or for real.
+func (c *Campaign) sleep(d time.Duration) {
+	if c.cfg.Sleep != nil {
+		c.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // measureOne performs the paper's two steps for destination d (the idx-th

@@ -109,6 +109,10 @@ func WriteReport(w io.Writer, s *Stats, as *asmap.Table) {
 		s.Dests, s.Rounds, s.Routes)
 	fmt.Fprintf(w, "responses: %d   distinct addresses: %d   mid-route stars: %d   reached: %.1f%%\n",
 		s.Responses, s.AddrsSeen, s.MidStars, s.ReachedPct)
+	if s.Robust.Failed > 0 || s.Robust.Skipped > 0 {
+		fmt.Fprintf(w, "fault tolerance: %d pairs probed, %d failed, %d skipped, %d destinations quarantined\n",
+			s.Robust.Probed, s.Robust.Failed, s.Robust.Skipped, s.Robust.QuarantinedDests)
+	}
 	if as != nil {
 		cov := as.Cover(s.AllAddresses)
 		fmt.Fprintf(w, "AS coverage: %d ASes (%d tier-1, %d regional), %d unmapped addresses\n",

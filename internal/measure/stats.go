@@ -65,15 +65,34 @@ type DiamondStats struct {
 	ParisTotal int
 }
 
+// RobustStats accounts for the campaign's error policy: of the
+// destination-rounds attempted, how many pairs were measured, how many
+// failed after the retry budget, and how many were skipped because their
+// destination had been quarantined. All zero on a fault-free campaign.
+type RobustStats struct {
+	// Probed counts successfully measured pairs (equals Stats.Routes).
+	Probed int
+	// Failed counts pairs whose measurement failed after retries.
+	Failed int
+	// Skipped counts pairs never attempted: their destination was
+	// quarantined by the error budget when the round reached it.
+	Skipped int
+	// QuarantinedDests counts destinations with at least one Skipped
+	// pair — derivable purely from the folded pairs, so streaming and
+	// materialize-then-Analyze agree byte for byte.
+	QuarantinedDests int
+}
+
 // Stats bundles every Section 4 aggregate plus trace bookkeeping.
 type Stats struct {
 	Rounds     int
 	Dests      int
-	Routes     int // classic measured routes (Dests × Rounds)
+	Routes     int // classic measured routes (Dests × Rounds when fault-free)
 	Responses  int // responding probes across both tracers
 	MidStars   int // stars amid responses (paper: 2.6 million)
 	AddrsSeen  int // distinct addresses discovered
 	ReachedPct float64
+	Robust     RobustStats
 	Loops      LoopStats
 	Cycles     CycleStats
 	Diamonds   DiamondStats

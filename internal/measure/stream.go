@@ -48,6 +48,10 @@ type routeMemo struct {
 	responses int
 	midStars  int
 	reached   bool
+	// seq is the memo's intern order within its destination, so checkpoint
+	// serialization can replay routes in first-seen order and produce
+	// byte-identical files run over run.
+	seq int
 }
 
 // pairKey identifies a (classic, paris) route combination by the two
@@ -81,6 +85,9 @@ type destState struct {
 	classicGraph, parisGraph *anomaly.Graph
 	loopSigs, cycleSigs      map[netip.Addr]*sigSpan
 	sawLoop, sawCycle        bool
+	// nextSeq numbers interned routes in first-seen order (classic and
+	// paris share one counter), for deterministic checkpoint output.
+	nextSeq int
 }
 
 func newDestState(dest netip.Addr) *destState {
@@ -163,6 +170,13 @@ type Accumulator struct {
 	addrs, loopAddrs, cycleAddrs map[netip.Addr]bool
 
 	dests map[netip.Addr]*destState
+
+	// failed and skipped tally the error policy's non-measured pairs;
+	// skippedDests marks destinations with at least one Skipped pair
+	// (the quarantined set, derivable purely from the folded pairs so
+	// streaming and Analyze stay byte-identical).
+	failed, skipped int
+	skippedDests    map[netip.Addr]bool
 }
 
 // NewAccumulator returns an empty accumulator.
@@ -174,6 +188,7 @@ func NewAccumulator() *Accumulator {
 		loopAddrs:    make(map[netip.Addr]bool),
 		cycleAddrs:   make(map[netip.Addr]bool),
 		dests:        make(map[netip.Addr]*destState),
+		skippedDests: make(map[netip.Addr]bool),
 	}
 }
 
@@ -224,6 +239,8 @@ func (a *Accumulator) intern(m map[uint64]*routeMemo, rt *tracer.Route, fp uint6
 	}
 	mo := new(routeMemo)
 	*mo = a.analyzeRoute(rt, classic, ds)
+	mo.seq = ds.nextSeq
+	ds.nextSeq++
 	m[fp] = mo
 	return mo
 }
@@ -238,6 +255,17 @@ func (a *Accumulator) Fold(p *Pair) { a.foldAt(p, p.Round) }
 // round slice index, so hand-built Results are counted the way they always
 // were even when the Pair.Round fields were never populated.
 func (a *Accumulator) foldAt(p *Pair, round int) {
+	switch p.Outcome {
+	case OutcomeFailed:
+		// Nothing was measured: the pair counts toward the robustness
+		// accounting and nowhere else.
+		a.failed++
+		return
+	case OutcomeSkipped:
+		a.skipped++
+		a.skippedDests[p.Dest] = true
+		return
+	}
 	ds := a.dests[p.Dest]
 	if ds == nil {
 		ds = newDestState(p.Dest)
@@ -343,6 +371,9 @@ func Merge(rounds, dests int, accs ...*Accumulator) *Stats {
 		reached += a.reached
 		s.Responses += a.responses
 		s.MidStars += a.midStars
+		s.Robust.Failed += a.failed
+		s.Robust.Skipped += a.skipped
+		s.Robust.QuarantinedDests += len(a.skippedDests)
 
 		s.Loops.Instances += a.loopInstances
 		s.Loops.RoutesWithLoop += a.routesWithLoop
@@ -410,6 +441,7 @@ func Merge(rounds, dests int, accs ...*Accumulator) *Stats {
 	}
 	s.Loops.AddrsInLoop = len(loopAddrs)
 	s.Cycles.AddrsInCycle = len(cycleAddrs)
+	s.Robust.Probed = s.Routes
 	if s.Routes > 0 {
 		s.ReachedPct = pct(reached, s.Routes)
 	}

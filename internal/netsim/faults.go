@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/tracer"
+)
+
+// This file is the deterministic fault-injection layer the robustness
+// machinery is tested against: a transport wrapper that afflicts seeded
+// per-destination schedules of transient errors, blackholes, and response
+// drops onto any underlying transport. Every schedule is a pure function of
+// (plan seed, destination address, per-destination exchange ordinal), so a
+// campaign over a faulty network is exactly reproducible — retry, backoff,
+// quarantine, and resume logic can be exercised hermetically, with failure
+// counts pinned to the exchange, under -race and without a single sleep.
+
+// FaultPlan selects which destinations misbehave and how. Destinations are
+// picked by a seeded hash ("every k-th destination"), and each affliction is
+// windowed in per-destination exchange ordinals — the running count of
+// probes sent toward that destination, retries included — so a fault's
+// timing is independent of worker interleaving and batching.
+type FaultPlan struct {
+	// Seed fixes destination selection. The same seed always afflicts the
+	// same destinations with the same schedules.
+	Seed int64
+
+	// TransientEvery, when > 0, gives roughly every k-th destination a
+	// transient-error window: exchanges whose per-destination ordinal
+	// falls in [TransientStart, TransientStart+TransientLen) fail with a
+	// transient error (the probe never reaches the network); exchanges
+	// outside the window succeed normally. A window shorter than the
+	// retry budget models an outage retries ride out.
+	TransientEvery int
+	TransientStart int
+	TransientLen   int
+
+	// BlackholeEvery, when > 0, gives roughly every k-th destination a
+	// permanent failure: every exchange from per-destination ordinal
+	// BlackholeStart onward fails with a transient error, forever. These
+	// destinations exhaust any retry budget and are what the campaign's
+	// quarantine policy exists for.
+	BlackholeEvery int
+	BlackholeStart int
+
+	// DropEvery, when > 0, gives roughly every k-th destination a
+	// response-drop burst: exchanges in [DropStart, DropStart+DropLen)
+	// complete without error but return no response (stars) — loss, not
+	// failure, so the measurement records it rather than retrying.
+	DropEvery int
+	DropStart int
+	DropLen   int
+}
+
+// DestSchedule is one destination's resolved fault schedule.
+type DestSchedule struct {
+	Transient                    bool
+	TransientStart, TransientLen int
+	Blackhole                    bool
+	BlackholeStart               int
+	Drop                         bool
+	DropStart, DropLen           int
+}
+
+// Faulty reports whether the schedule afflicts the destination at all.
+func (s DestSchedule) Faulty() bool { return s.Transient || s.Blackhole || s.Drop }
+
+// ScheduleFor resolves the plan for one destination. It is a pure function
+// of (Seed, dst), so tests derive expected failure counts from the same
+// schedules the transport enforces.
+func (p FaultPlan) ScheduleFor(dst netip.Addr) DestSchedule {
+	var s DestSchedule
+	k, ok := a4(dst)
+	if !ok {
+		return s
+	}
+	h := splitmix64(uint64(p.Seed) ^ uint64(k))
+	if p.TransientEvery > 0 && h%uint64(p.TransientEvery) == 0 {
+		s.Transient = true
+		s.TransientStart, s.TransientLen = p.TransientStart, p.TransientLen
+	}
+	h = splitmix64(h)
+	if p.BlackholeEvery > 0 && h%uint64(p.BlackholeEvery) == 0 {
+		s.Blackhole = true
+		s.BlackholeStart = p.BlackholeStart
+	}
+	h = splitmix64(h)
+	if p.DropEvery > 0 && h%uint64(p.DropEvery) == 0 {
+		s.Drop = true
+		s.DropStart, s.DropLen = p.DropStart, p.DropLen
+	}
+	return s
+}
+
+// faultKind is the per-exchange decision.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultErr            // transient error: the exchange did not happen
+	faultStar           // silent drop: the exchange happened, no response
+)
+
+// destFaults is the per-destination runtime state: the resolved schedule and
+// the exchange ordinal counter it is indexed by.
+type destFaults struct {
+	sched   DestSchedule
+	ordinal int
+}
+
+// FaultTransport wraps any tracer transport with a FaultPlan. It implements
+// tracer.Transport, tracer.BatchTransport (batched exchanges pass the
+// unafflicted probes through the inner transport's batch path in order), and
+// tracer.FallibleTransport (injected transient errors surface through
+// ExchangeErr and ProbeResult.Err with the tracer taxonomy).
+//
+// FaultTransport is safe for concurrent use; the per-destination ordinal
+// counters are guarded by one mutex, which is off the forwarding hot path
+// (one map access per probe).
+type FaultTransport struct {
+	inner tracer.Transport
+	plan  FaultPlan
+
+	mu    sync.Mutex
+	dests map[uint32]*destFaults
+	// errs and drops tally the injected faults, for test assertions.
+	errs, drops int
+}
+
+// WrapFaults afflicts tp with the plan's fault schedules.
+func WrapFaults(tp tracer.Transport, plan FaultPlan) *FaultTransport {
+	return &FaultTransport{inner: tp, plan: plan, dests: make(map[uint32]*destFaults)}
+}
+
+// InjectedErrors returns how many exchanges failed with an injected
+// transient error so far.
+func (t *FaultTransport) InjectedErrors() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errs
+}
+
+// InjectedDrops returns how many responses were silently dropped so far.
+func (t *FaultTransport) InjectedDrops() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// decide consumes one exchange ordinal for the probe's destination and
+// returns the fault applied to it.
+func (t *FaultTransport) decide(probe []byte) faultKind {
+	if len(probe) < 20 {
+		return faultNone
+	}
+	dst := netip.AddrFrom4([4]byte(probe[16:20]))
+	k, ok := a4(dst)
+	if !ok {
+		return faultNone
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	df := t.dests[k]
+	if df == nil {
+		df = &destFaults{sched: t.plan.ScheduleFor(dst)}
+		t.dests[k] = df
+	}
+	ord := df.ordinal
+	df.ordinal++
+	s := df.sched
+	switch {
+	case s.Blackhole && ord >= s.BlackholeStart:
+		t.errs++
+		return faultErr
+	case s.Transient && ord >= s.TransientStart && ord < s.TransientStart+s.TransientLen:
+		t.errs++
+		return faultErr
+	case s.Drop && ord >= s.DropStart && ord < s.DropStart+s.DropLen:
+		t.drops++
+		return faultStar
+	}
+	return faultNone
+}
+
+// errFor builds the injected error for a probe's destination.
+func errFor(probe []byte) error {
+	return tracer.Transient(fmt.Errorf("netsim: injected fault toward %v", netip.AddrFrom4([4]byte(probe[16:20]))))
+}
+
+// Exchange implements tracer.Transport: injected errors degrade to stars,
+// matching the interface's no-error contract. Fault-aware callers use
+// ExchangeErr or the batch path.
+func (t *FaultTransport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	resp, rtt, ok, err := t.ExchangeErr(probe)
+	if err != nil {
+		return nil, 0, false
+	}
+	return resp, rtt, ok
+}
+
+// ExchangeErr implements tracer.FallibleTransport.
+func (t *FaultTransport) ExchangeErr(probe []byte) ([]byte, time.Duration, bool, error) {
+	switch t.decide(probe) {
+	case faultErr:
+		return nil, 0, false, errFor(probe)
+	case faultStar:
+		return nil, 0, false, nil
+	}
+	resp, rtt, ok := t.inner.Exchange(probe)
+	return resp, rtt, ok, nil
+}
+
+// ExchangeBatch implements tracer.BatchTransport: afflicted probes resolve
+// in place (Err for injected errors, a star for drops) and the remainder
+// passes through the inner transport's batch path in submission order. When
+// the inner transport cannot batch, probes fall back to one Exchange each.
+func (t *FaultTransport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("netsim: ExchangeBatch result slice shorter than probe slice")
+	}
+	kinds := make([]faultKind, len(probes))
+	pass := make([][]byte, 0, len(probes))
+	idxs := make([]int, 0, len(probes))
+	for i, p := range probes {
+		kinds[i] = t.decide(p)
+		if kinds[i] == faultNone {
+			pass = append(pass, p)
+			idxs = append(idxs, i)
+		}
+	}
+	for i := range probes {
+		if kinds[i] == faultNone {
+			continue
+		}
+		if out[i].Resp != nil {
+			out[i].Resp = out[i].Resp[:0]
+		}
+		out[i].RTT = 0
+		out[i].OK = false
+		if kinds[i] == faultErr {
+			out[i].Err = errFor(probes[i])
+		} else {
+			out[i].Err = nil
+		}
+	}
+	if len(pass) == 0 {
+		return
+	}
+	if bt, ok := t.inner.(tracer.BatchTransport); ok && len(pass) == len(probes) {
+		bt.ExchangeBatch(probes, out)
+		return
+	}
+	if bt, ok := t.inner.(tracer.BatchTransport); ok {
+		sub := make([]tracer.ProbeResult, len(pass))
+		for j, i := range idxs {
+			sub[j] = tracer.ProbeResult{Resp: out[i].Resp[:0:cap(out[i].Resp)]}
+		}
+		bt.ExchangeBatch(pass, sub)
+		for j, i := range idxs {
+			out[i] = sub[j]
+		}
+		return
+	}
+	for j, i := range idxs {
+		resp, rtt, ok := t.inner.Exchange(pass[j])
+		out[i].OK = ok
+		out[i].Err = nil
+		out[i].RTT = rtt
+		if ok {
+			out[i].Resp = append(out[i].Resp[:0], resp...)
+		} else if out[i].Resp != nil {
+			out[i].Resp = out[i].Resp[:0]
+		}
+	}
+}
+
+// Source implements tracer.Transport.
+func (t *FaultTransport) Source() netip.Addr { return t.inner.Source() }

@@ -205,6 +205,14 @@ func (n *Network) ProbeCount() int {
 	return int(n.probeCount.Load())
 }
 
+// SetProbeCount restores the probe counter, e.g. when resuming a
+// checkpointed campaign: per-exchange randomness is seeded by this counter,
+// so restoring it replays the exact per-probe random stream the interrupted
+// run would have drawn. Call it only while no exchanges are in flight.
+func (n *Network) SetProbeCount(c int) {
+	n.probeCount.Store(int64(c))
+}
+
 // splitmix64 advances and finalizes one step of the SplitMix64 generator.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

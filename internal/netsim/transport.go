@@ -64,6 +64,7 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 	for i := range probes {
 		out[i].Resp = res[i].Resp
 		out[i].OK = res[i].OK
+		out[i].Err = nil // result slots recycle across batches (Scratch)
 		if res[i].OK {
 			out[i].RTT = time.Duration(res[i].Steps) * t.PerHop
 		} else {

@@ -17,6 +17,12 @@ type ProbeResult struct {
 	RTT time.Duration
 	// OK is false when no response arrived (a star).
 	OK bool
+	// Err, when non-nil, means this probe's exchange failed outright (OK
+	// is then false and Resp empty): nothing was measured, not even a
+	// star. Errors follow the package taxonomy — IsTransient reports
+	// whether a retry may succeed. Transports without a failure mode
+	// leave it nil.
+	Err error
 }
 
 // BatchTransport is implemented by transports that can carry a whole batch
@@ -131,6 +137,14 @@ func (e *engine) traceBatched(bt BatchTransport, dest netip.Addr) (*Route, error
 		for k := 0; k < w; k++ {
 			for a := 0; a < o.ProbesPerHop; a++ {
 				r := &res[k*o.ProbesPerHop+a]
+				if r.Err != nil {
+					// The ladder consumes results in TTL order, so the
+					// first failed exchange among the hops actually used
+					// aborts the trace exactly where the sequential loop
+					// would have; failures in truncated (unconsumed)
+					// slots are discarded with the rest of the overshoot.
+					return nil, fmt.Errorf("tracer %s: exchange ttl=%d: %w", e.name, ttl+k, r.Err)
+				}
 				h := Hop{TTL: ttl + k, ProbeTTL: -1}
 				if r.OK {
 					h = parseResponse(r.Resp, sc.exps[k*o.ProbesPerHop+a])

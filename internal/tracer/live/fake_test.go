@@ -27,6 +27,13 @@ type fakeConn struct {
 	// sends records every probe put on the "wire", in order, for
 	// attempt-count assertions.
 	sends [][]byte
+
+	// writeErr, when set, can fail a WriteBatch: it receives the call
+	// ordinal (counted per WriteBatch invocation) and the datagram count,
+	// and returns how many datagrams actually made it out plus the error
+	// for the rest. Returning (len, nil) leaves the call untouched.
+	writeErr   func(call, n int) (int, error)
+	writeCalls int
 }
 
 // fakeSchedule scripts the fault injection, keyed by send ordinal (the
@@ -56,7 +63,15 @@ func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
 	if c.closed {
 		return 0, errors.New("fake: closed")
 	}
-	for _, dg := range dgs {
+	limit, werr := len(dgs), error(nil)
+	if c.writeErr != nil {
+		call := c.writeCalls
+		c.writeCalls++
+		if s, err := c.writeErr(call, len(dgs)); err != nil {
+			limit, werr = s, err
+		}
+	}
+	for _, dg := range dgs[:limit] {
 		ord := c.seq
 		c.seq++
 		probe := append([]byte(nil), dg.Buf...)
@@ -84,7 +99,7 @@ func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
 			}
 		}
 	}
-	return len(dgs), nil
+	return limit, werr
 }
 
 func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {

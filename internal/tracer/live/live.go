@@ -50,10 +50,12 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/tracer"
@@ -70,6 +72,21 @@ type Config struct {
 	// resolves as a star. Zero means send once, never re-send; the
 	// simulator's loss-free semantics correspond to Retries: 0.
 	Retries int
+	// RetryBackoff spaces the re-sends of an unanswered probe: re-send k
+	// waits RetryBackoff << (k-1) after the timeout, capped at Timeout and
+	// scaled by a seeded jitter factor in [0.5, 1.5) so synchronized
+	// losses do not retransmit in lockstep. Zero keeps the historical
+	// immediate re-send.
+	RetryBackoff time.Duration
+	// Context, when non-nil, cancels in-flight exchanges: on cancellation
+	// every unresolved probe of the current batch fails with the context's
+	// error (surfaced through ProbeResult.Err / ExchangeErr), and further
+	// batches fail the same way immediately. While a batch waits, reads
+	// are paced in short quanta so cancellation is noticed mid-timeout.
+	// Over a fake conn — whose timeouts fast-forward instead of sleeping —
+	// the quanta turn waiting into polling, so fake-driven cancellation
+	// tests should cancel promptly or keep Timeout small.
+	Context context.Context
 	// Conn overrides the raw-socket layer — the test seam. Nil dials the
 	// platform's real raw sockets (Linux only, needs root/CAP_NET_RAW).
 	Conn PacketConn
@@ -87,10 +104,16 @@ type Transport struct {
 	src     netip.Addr
 	timeout time.Duration
 	retries int
+	backoff time.Duration
+	ctx     context.Context
 	mtu     int
 
 	mu   sync.Mutex
 	conn PacketConn
+	// rng is the jitter stream for retransmit backoff: a SplitMix64
+	// counter seeded from the source address, advanced once per delay
+	// drawn, so a transport's backoff schedule is reproducible.
+	rng uint64
 	// Per-batch scratch, reused under mu across batches.
 	slots []slot
 	byKey map[matchKey][]int
@@ -107,8 +130,22 @@ type slot struct {
 	sentAt           time.Time
 	deadline         time.Time
 	attempts         int
-	resolved         bool
+	// sendDefers counts consecutive transient send failures (ENOBUFS,
+	// EAGAIN, EINTR) absorbed without burning an attempt.
+	sendDefers int
+	// backoff marks a timed-out probe waiting out its retransmit delay:
+	// its deadline is the re-send time, not a response timeout, so the
+	// expire pass must not star it.
+	backoff  bool
+	resolved bool
+	// err, when set, is a fatal per-probe failure (send error, socket
+	// breakage, cancellation) the wheel surfaces through ProbeResult.Err.
+	err error
 }
+
+// maxSendDefers bounds how many times a transient syscall failure may
+// postpone one probe's send before the failure starts burning attempts.
+const maxSendDefers = 3
 
 // New opens a live transport. Construction fails with a descriptive error
 // when raw sockets are unavailable (no CAP_NET_RAW, or a non-Linux
@@ -131,12 +168,16 @@ func New(cfg Config) (*Transport, error) {
 			return nil, err
 		}
 	}
+	a := cfg.Source.As4()
 	return &Transport{
 		src:     cfg.Source,
 		timeout: cfg.Timeout,
 		retries: cfg.Retries,
+		backoff: cfg.RetryBackoff,
+		ctx:     cfg.Context,
 		mtu:     cfg.MTU,
 		conn:    conn,
+		rng:     uint64(a[0])<<24 | uint64(a[1])<<16 | uint64(a[2])<<8 | uint64(a[3]),
 		byKey:   make(map[matchKey][]int),
 	}, nil
 }
@@ -151,15 +192,27 @@ func (t *Transport) Close() error {
 	return t.conn.Close()
 }
 
-// Exchange implements tracer.Transport: a batch of one.
+// Exchange implements tracer.Transport: a batch of one. Per-probe faults
+// degrade to stars; use ExchangeErr to observe them.
 func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	resp, rtt, ok, _ := t.ExchangeErr(probe)
+	return resp, rtt, ok
+}
+
+// ExchangeErr implements tracer.FallibleTransport: a batch of one with the
+// fault surfaced, so sequential engines can distinguish a transient socket
+// failure or cancellation from an honest star.
+func (t *Transport) ExchangeErr(probe []byte) ([]byte, time.Duration, bool, error) {
 	probes := [1][]byte{probe}
 	var out [1]tracer.ProbeResult
 	t.ExchangeBatch(probes[:], out[:])
-	if !out[0].OK {
-		return nil, 0, false
+	if out[0].Err != nil {
+		return nil, 0, false, out[0].Err
 	}
-	return out[0].Resp, out[0].RTT, true
+	if !out[0].OK {
+		return nil, 0, false, nil
+	}
+	return out[0].Resp, out[0].RTT, true, nil
 }
 
 // ExchangeBatch implements tracer.BatchTransport: send the whole window in
@@ -185,9 +238,24 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 	t.sendPending(time.Now(), func(s *slot) bool { return s.attempts == 0 })
 
 	for unresolved > 0 {
+		if t.ctx != nil {
+			if cerr := t.ctx.Err(); cerr != nil {
+				unresolved -= t.failRemaining(out, cerr)
+				continue
+			}
+		}
 		wheelDL := t.earliestDeadline()
-		if err := t.conn.SetReadDeadline(wheelDL); err != nil {
-			unresolved -= t.expireAll()
+		readDL := wheelDL
+		if t.ctx != nil {
+			// Cap the blocking read so cancellation is noticed mid-wait;
+			// expiry below compares against the capped deadline, so an
+			// early wake-up expires nothing prematurely.
+			if q := time.Now().Add(ctxPollQuantum); readDL.After(q) {
+				readDL = q
+			}
+		}
+		if err := t.conn.SetReadDeadline(readDL); err != nil {
+			unresolved -= t.failRemaining(out, fmt.Errorf("live: set read deadline: %w", err))
 			continue
 		}
 		m, err := t.conn.ReadBatch(t.recv)
@@ -217,17 +285,21 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 			// everything at or before it. Trusting the conn (not the wall
 			// clock) is what lets the fake fast-forward the wheel without
 			// real sleeps while the real sockets still pace by time.
-			unresolved -= t.expire(wheelDL, now)
+			unresolved -= t.expire(readDL, now, out)
 			continue
 		}
 		if err != nil {
-			// Socket failure: resolve the remainder as stars and bail.
-			unresolved -= t.expireAll()
+			// Socket failure: fail the remainder with the error and bail.
+			unresolved -= t.failRemaining(out, fmt.Errorf("live: receive: %w", err))
 			continue
 		}
 	}
 	clear(t.byKey)
 }
+
+// ctxPollQuantum bounds one blocking read when a Context can cancel the
+// exchange, so cancellation latency is this quantum rather than Timeout.
+const ctxPollQuantum = 100 * time.Millisecond
 
 // register parses every probe into its wheel slot and key-table entries,
 // resets the result slots, and returns how many probes are in flight.
@@ -240,6 +312,7 @@ func (t *Transport) register(probes [][]byte, out []tracer.ProbeResult) int {
 	for i, p := range probes {
 		out[i].OK = false
 		out[i].RTT = 0
+		out[i].Err = nil
 		if out[i].Resp != nil {
 			out[i].Resp = out[i].Resp[:0]
 		}
@@ -278,15 +351,17 @@ func (t *Transport) growScratch(n int) {
 }
 
 // sendPending gathers the unresolved slots selected by pick into one
-// WriteBatch, stamping their send time, deadline, and attempt count. A send
-// error resolves the selected slots as stars (the caller observes the
-// shrunken unresolved count through expireAll on the next loop).
+// WriteBatch, stamping their send time, deadline, and attempt count. Send
+// failures are classified: a transient syscall (full buffer, interrupted
+// call) leaves the unsent tail due immediately without consuming an
+// attempt, bounded by maxSendDefers; any other error fails those probes
+// outright. Either way the wheel observes the outcome on its next turn.
 func (t *Transport) sendPending(now time.Time, pick func(*slot) bool) {
 	t.send = t.send[:0]
 	idxs := make([]int, 0, len(t.slots))
 	for i := range t.slots {
 		s := &t.slots[i]
-		if s.resolved || !pick(s) {
+		if s.resolved || s.err != nil || !pick(s) {
 			continue
 		}
 		t.send = append(t.send, Datagram{Buf: s.probe, Dst: s.dst})
@@ -295,20 +370,43 @@ func (t *Transport) sendPending(now time.Time, pick func(*slot) bool) {
 	if len(t.send) == 0 {
 		return
 	}
-	sent, _ := t.conn.WriteBatch(t.send)
+	sent, err := t.conn.WriteBatch(t.send)
 	for k, i := range idxs {
 		s := &t.slots[i]
-		if k < sent {
+		s.backoff = false
+		switch {
+		case k < sent:
 			s.sentAt = now
 			s.deadline = now.Add(t.timeout)
 			s.attempts++
-		} else {
+			s.sendDefers = 0
+		case err != nil && transientSendErr(err) && s.sendDefers < maxSendDefers:
+			// The kernel will drain its buffers (or the signal is gone):
+			// re-offer the probe on the next wheel turn at no attempt cost.
+			// A conn that never recovers degrades to the attempt-burning
+			// path once the defers run out.
+			s.sendDefers++
+			s.deadline = now
+		case err != nil && !transientSendErr(err):
+			// Nothing will ever send this probe: fail it outright. The
+			// wheel resolves it with this error on its next turn.
+			s.err = fmt.Errorf("live: send: %w", err)
+			s.deadline = now
+		default:
 			// Never made it onto the wire: burn the attempt with an
 			// already-expired deadline so the wheel retries or stars it.
 			s.deadline = now
 			s.attempts++
 		}
 	}
+}
+
+// transientSendErr reports whether a WriteBatch failure is worth re-trying
+// without charging the probe's attempt budget.
+func transientSendErr(err error) bool {
+	return errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
 }
 
 // earliestDeadline returns the soonest deadline among in-flight probes.
@@ -326,36 +424,75 @@ func (t *Transport) earliestDeadline() time.Time {
 	return dl
 }
 
-// expire advances the wheel past dl: probes due at or before it are re-sent
-// when they have attempts left and starred otherwise. Returns how many
-// resolved (as stars).
-func (t *Transport) expire(dl, now time.Time) int {
-	starred := 0
+// expire advances the wheel past dl. Probes due at or before it resolve
+// with their pending fatal error if one is set, star when out of attempts,
+// enter their jittered retransmit backoff when one is configured, and are
+// re-sent otherwise (backoff expiries re-send too — their deadline is the
+// re-send time). Returns how many resolved.
+func (t *Transport) expire(dl, now time.Time, out []tracer.ProbeResult) int {
+	resolved := 0
 	for i := range t.slots {
 		s := &t.slots[i]
 		if s.resolved || s.deadline.After(dl) {
 			continue
 		}
+		if s.err != nil {
+			s.resolved = true
+			out[i].Err = s.err
+			resolved++
+			continue
+		}
+		if s.backoff {
+			continue // due for re-send by the pick below
+		}
 		if s.attempts > t.retries {
 			s.resolved = true
-			starred++
+			resolved++
+			continue
+		}
+		if t.backoff > 0 && s.attempts > 0 {
+			// Timed out with attempts left: hold the retransmit for the
+			// jittered delay instead of re-sending immediately. The wheel
+			// reaches this new deadline like any other and the pick below
+			// then re-sends it.
+			s.backoff = true
+			s.deadline = now.Add(t.retryDelay(s.attempts))
 		}
 	}
 	t.sendPending(now, func(s *slot) bool { return !s.deadline.After(dl) })
-	return starred
+	return resolved
 }
 
-// expireAll stars every in-flight probe — the socket-failure path.
-func (t *Transport) expireAll() int {
-	starred := 0
+// retryDelay draws the backoff before re-send number attempts: the base
+// doubles per re-send, capped at the probe timeout, scaled by a seeded
+// jitter in [0.5, 1.5).
+func (t *Transport) retryDelay(attempts int) time.Duration {
+	d := t.backoff << (attempts - 1)
+	if d <= 0 || d > t.timeout {
+		d = t.timeout
+	}
+	t.rng += 0x9e3779b97f4a7c15
+	x := t.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	jitter := 0.5 + float64(x>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+// failRemaining resolves every in-flight probe with err — the socket
+// failure and cancellation path. A nil err resolves them as plain stars.
+func (t *Transport) failRemaining(out []tracer.ProbeResult, err error) int {
+	resolved := 0
 	for i := range t.slots {
 		s := &t.slots[i]
 		if !s.resolved {
 			s.resolved = true
-			starred++
+			out[i].Err = err
+			resolved++
 		}
 	}
-	return starred
+	return resolved
 }
 
 // pop resolves key to the oldest unanswered probe registered under it,

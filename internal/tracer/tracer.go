@@ -466,7 +466,10 @@ func (e *engine) Trace(dest netip.Addr) (*Route, error) {
 	return e.traceSequential(dest)
 }
 
-// traceSequential is the classic one-exchange-at-a-time trace loop.
+// traceSequential is the classic one-exchange-at-a-time trace loop. When
+// the transport is fallible (FallibleTransport), exchange failures abort the
+// trace with the transport's error — transient or fatal per the taxonomy in
+// errors.go — instead of being recorded as stars.
 func (e *engine) traceSequential(dest netip.Addr) (*Route, error) {
 	o := e.opts
 	ladder := o.MaxTTL - o.MinTTL + 1
@@ -478,6 +481,7 @@ func (e *engine) traceSequential(dest netip.Addr) (*Route, error) {
 		rt.All = make([][]Hop, 0, ladder)
 	}
 	attempts := make([]Hop, o.ProbesPerHop)
+	ft, fallible := e.tp.(FallibleTransport)
 
 	probeIdx := 0
 	for ttl := o.MinTTL; ttl <= o.MaxTTL; ttl++ {
@@ -487,7 +491,20 @@ func (e *engine) traceSequential(dest netip.Addr) (*Route, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tracer %s: building probe ttl=%d: %w", e.name, ttl, err)
 			}
-			resp, rtt, ok := e.tp.Exchange(probe)
+			var (
+				resp []byte
+				rtt  time.Duration
+				ok   bool
+			)
+			if fallible {
+				var xerr error
+				resp, rtt, ok, xerr = ft.ExchangeErr(probe)
+				if xerr != nil {
+					return nil, fmt.Errorf("tracer %s: exchange ttl=%d: %w", e.name, ttl, xerr)
+				}
+			} else {
+				resp, rtt, ok = e.tp.Exchange(probe)
+			}
 			h := Hop{TTL: ttl, ProbeTTL: -1}
 			if ok {
 				h = parseResponse(resp, exp)
