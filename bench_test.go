@@ -259,6 +259,44 @@ func BenchmarkCampaignRoundBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignRoundDynamics is the virtual-clock A/B: the same
+// steady-state batched round with netsim's dynamics layer off and fully
+// armed (per-link delay, background load, scheduled churn). The delta is
+// the whole cost of simulating network dynamics — the event loop, the
+// per-link delay draws, and the schedule checks run per traversal, yet no
+// wall-clock time passes: a 30-virtual-second round still completes in
+// simulator time.
+func BenchmarkCampaignRoundDynamics(b *testing.B) {
+	for _, dyn := range []bool{false, true} {
+		b.Run(fmt.Sprintf("dynamics=%v", dyn), func(b *testing.B) {
+			cfg := topo.DefaultGenConfig()
+			cfg.Destinations = 500
+			if dyn {
+				cfg.Delay, cfg.Load, cfg.Churn = 1, 0.3, 0.5
+			}
+			sc := topo.Generate(cfg)
+			camp, err := measure.NewCampaign(sc.Transport(), measure.Config{
+				Dests: sc.Dests, Rounds: 1, Workers: 32,
+				RoundStart: sc.RoundStart, PortSeed: cfg.Seed,
+				Batch: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := camp.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := camp.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCampaignStudyStream is the streaming A/B on the multi-round
 // study the engine actually ships: Config.Stream folding pairs into
 // per-worker accumulators as they complete, versus materializing every pair

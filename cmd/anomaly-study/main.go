@@ -6,15 +6,30 @@
 //
 // Usage:
 //
-//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-stream] [-seed N] [-paper]
-//	anomaly-study -checkpoint ck.json [-checkpoint-every N] [-resume] [-stats-json out.json]
-//	anomaly-study -live -live-dests A.B.C.D[,...] [-rounds N] [-batch] [-stream]
+//	anomaly-study [-dests N] [-rounds N] [-workers N] [-shards N] [-batch] [-stream]
+//	              [-fold-every K] [-seed N] [-paper] [-truth] [-flips]
+//	              [-delay S] [-load L] [-churn C] [-dynamics-seed N]
+//	anomaly-study -checkpoint ck.json [-checkpoint-every N] [-resume] [-halt-after N]
+//	              [-fail-fast] [-stats-json out.json]
+//	anomaly-study -live -live-dests A.B.C.D[,...] [-rounds N] [-workers N] [-batch]
+//	              [-stream] [-timeout D] [-retries N] [-retry-backoff D]
 //
 // -live swaps the simulator for the raw-socket transport
 // (internal/tracer/live) and runs the identical paired-trace campaign
 // against the real destinations in -live-dests; raw sockets need root or
 // CAP_NET_RAW, and the tool exits with an explanation when they are
-// unavailable.
+// unavailable. -timeout, -retries, and -retry-backoff tune the live
+// transport's per-probe deadline, re-send budget, and jittered backoff
+// between re-sends.
+//
+// -delay, -load, and -churn switch on the simulator's virtual-clock
+// dynamics (netsim.Dynamics): seeded per-link propagation/bandwidth/
+// queueing delays, background cross-traffic inflating queues, and
+// scheduled route flaps, balancer weight churn, and link brownouts —
+// all replayed deterministically from -dynamics-seed, with hop RTTs
+// measured on the virtual clock (the report grows a "hop RTTs" line).
+// Statistics stay byte-identical across -workers/-shards/-batch settings
+// for a fixed seed, dynamics on or off.
 //
 // The campaign is fault tolerant and resumable. SIGINT/SIGTERM stop it at
 // the next destination boundary, print the partial statistics, and — with
@@ -89,6 +104,10 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write the final statistics as canonical JSON to this file")
 	haltAfter := flag.Int("halt-after", 0, "stop after N completed rounds (testing aid for checkpoint/resume)")
 	flips := flag.Bool("flips", true, "enable mid-trace path flips (disable for byte-reproducible resume)")
+	delay := flag.Float64("delay", 0, "virtual-clock per-link delay scale (1 = calibrated; 0 disables)")
+	load := flag.Float64("load", 0, "virtual-clock background cross-traffic intensity in [0, 0.95]")
+	churn := flag.Float64("churn", 0, "virtual-clock scheduled-dynamics rate (flaps/weight churn/brownouts) in [0, 1]")
+	dynamicsSeed := flag.Int64("dynamics-seed", 0, "seed for the virtual-clock dynamics draws (0: derived from -seed)")
 	flag.Parse()
 
 	if *checkpoint != "" && !*stream {
@@ -142,6 +161,10 @@ func main() {
 		// flip-free topology is what makes a resumed run byte-reproducible.
 		cfg.FlipPerProbe = 0
 	}
+	cfg.Delay = *delay
+	cfg.Load = *load
+	cfg.Churn = *churn
+	cfg.DynamicsSeed = *dynamicsSeed
 
 	sc := topo.Generate(cfg)
 	if *truth {

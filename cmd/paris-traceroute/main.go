@@ -6,20 +6,27 @@
 // Usage:
 //
 //	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-batch] [-seed N]
-//	paris-traceroute -live -dest A.B.C.D [-method paris-udp] [-batch] [-timeout 2s] [-retries 1]
+//	paris-traceroute -live -dest A.B.C.D [-method paris-udp] [-batch]
+//	                 [-timeout 2s] [-retries 1] [-retry-backoff 0]
 //
-// Scenarios: fig1, fig3, fig4, fig5, fig6, random. With -shards N > 1 the
-// random scenario is partitioned across N independent simulated networks
-// and the trace runs through the sharded dispatch path. -batch submits the
-// TTL ladder through the batched exchange path instead of one exchange per
-// probe; the measured route is identical either way.
+// Scenarios: fig1, fig3, fig4, fig5, fig6, random. -seed seeds the random
+// scenario's generator. With -shards N > 1 the random scenario is
+// partitioned across N independent simulated networks and the trace runs
+// through the sharded dispatch path. -batch submits the TTL ladder through
+// the batched exchange path instead of one exchange per probe; the
+// measured route is identical either way.
 // Methods: paris-udp, paris-icmp, paris-tcp, classic-udp, classic-icmp,
 // tcptraceroute.
 //
 // -live replaces the simulator with the raw-socket transport
 // (internal/tracer/live): probes go on the wire verbatim and -dest names
 // the real IPv4 destination. Raw sockets need root or CAP_NET_RAW; without
-// them the tool explains and exits rather than probing anything.
+// them the tool explains and exits rather than probing anything. -timeout,
+// -retries, and -retry-backoff apply only to live probing: an unanswered
+// probe is re-sent up to -retries times, each re-send spaced by an
+// exponentially growing, seeded-jitter backoff when -retry-backoff is
+// nonzero (the same policy anomaly-study uses), and a probe that exhausts
+// its attempts resolves as a star.
 //
 // With -flows N > 1, the tool runs the paper's future-work multipath
 // enumeration: one Paris trace per flow, reporting every interface of each
@@ -54,6 +61,7 @@ func main() {
 	liveDest := flag.String("dest", "", "live destination IPv4 address (required with -live)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
+	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate)")
 	flag.Parse()
 
 	var (
@@ -66,7 +74,7 @@ func main() {
 		// waiting out the remaining probe timeouts.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		tp, dest, err = buildLive(ctx, *liveDest, *timeout, *retries)
+		tp, dest, err = buildLive(ctx, *liveDest, *timeout, *retries, *retryBackoff)
 	} else {
 		tp, dest, err = buildScenario(*scenario, *seed, *shards)
 	}
@@ -143,7 +151,7 @@ func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
 
 // buildLive opens the raw-socket transport, failing with a clear
 // explanation when the capability is missing.
-func buildLive(ctx context.Context, destStr string, timeout time.Duration, retries int) (tracer.Transport, netip.Addr, error) {
+func buildLive(ctx context.Context, destStr string, timeout time.Duration, retries int, backoff time.Duration) (tracer.Transport, netip.Addr, error) {
 	if destStr == "" {
 		return nil, netip.Addr{}, fmt.Errorf("-live requires -dest A.B.C.D")
 	}
@@ -155,7 +163,7 @@ func buildLive(ctx context.Context, destStr string, timeout time.Duration, retri
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, Context: ctx})
+	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, RetryBackoff: backoff, Context: ctx})
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("live probing unavailable: %w", err)
 	}

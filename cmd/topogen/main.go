@@ -5,6 +5,14 @@
 // Usage:
 //
 //	topogen [-dests N] [-seed N] [-sample N]
+//	        [-delay S] [-load L] [-churn C] [-dynamics-seed N]
+//
+// -delay, -load, and -churn switch on netsim's virtual-clock dynamics
+// (seeded per-link latency, background cross-traffic, and scheduled route
+// flaps/weight churn/brownouts); the sampled routes then carry a virtual
+// RTT per hop, printed in an extra column. -dynamics-seed fixes the
+// dynamics draws independently of the topology seed (0 derives it from
+// -seed).
 package main
 
 import (
@@ -20,12 +28,21 @@ func main() {
 	dests := flag.Int("dests", 200, "number of destinations")
 	seed := flag.Int64("seed", 42, "generator seed")
 	sample := flag.Int("sample", 5, "number of destination routes to print")
+	delay := flag.Float64("delay", 0, "virtual-clock per-link delay scale (1 = calibrated; 0 disables)")
+	load := flag.Float64("load", 0, "virtual-clock background cross-traffic intensity in [0, 0.95]")
+	churn := flag.Float64("churn", 0, "virtual-clock scheduled-dynamics rate in [0, 1]")
+	dynamicsSeed := flag.Int64("dynamics-seed", 0, "seed for the virtual-clock dynamics draws (0: derived from -seed)")
 	flag.Parse()
 
 	cfg := topo.DefaultGenConfig()
 	cfg.Seed = *seed
 	cfg.Destinations = *dests
+	cfg.Delay = *delay
+	cfg.Load = *load
+	cfg.Churn = *churn
+	cfg.DynamicsSeed = *dynamicsSeed
 	sc := topo.Generate(cfg)
+	dynamics := sc.Net.DynamicsEnabled()
 
 	fmt.Printf("topology seed=%d destinations=%d\n", *seed, len(sc.Dests))
 	fmt.Printf("ground truth: %+v\n", sc.Truth)
@@ -46,12 +63,13 @@ func main() {
 		}
 		fmt.Printf("route to %s (%d hops, halt=%v):\n", d, len(rt.Hops), rt.Halt)
 		for _, h := range rt.Hops {
-			asn := 0
-			if !h.Star() {
-				asn, _ = sc.AS.Lookup(h.Addr)
-			}
 			if h.Star() {
 				fmt.Printf("  %2d  *\n", h.TTL)
+				continue
+			}
+			asn, _ := sc.AS.Lookup(h.Addr)
+			if dynamics {
+				fmt.Printf("  %2d  %-15s  AS%-5d  %10s\n", h.TTL, h.Addr, asn, h.RTT)
 			} else {
 				fmt.Printf("  %2d  %-15s  AS%d\n", h.TTL, h.Addr, asn)
 			}

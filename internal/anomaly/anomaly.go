@@ -1,8 +1,3 @@
-// Package anomaly implements the paper's three traceroute anomaly
-// signatures — loops, cycles, and diamonds (Section 4) — and the cause
-// classifier that attributes each instance using the observables Paris
-// traceroute adds (probe TTL, response TTL, IP ID) plus classic-vs-Paris
-// differencing.
 package anomaly
 
 import (

@@ -1,0 +1,23 @@
+// Package anomaly implements the paper's three traceroute anomaly
+// signatures — loops, cycles, and diamonds (Section 4) — and the cause
+// classifier that attributes each instance using the observables Paris
+// traceroute adds (probe TTL, response TTL, IP ID) plus classic-vs-Paris
+// differencing.
+//
+// # Determinism and concurrency contract
+//
+// Every detector and the classifier are pure functions over the routes they
+// are given: no package-level state, no randomness, no clock reads. The
+// same routes always yield the same instances and the same causes, in the
+// same order, which is what lets the measure package memoize per-route
+// results on interned routes and still produce byte-identical statistics
+// at any worker count.
+//
+// Two classifier rules consult response IP IDs (LoopConsultsIPID,
+// CycleConsultsIPID), which differ on every exchange even along a stable
+// path. Both rules are gated on path-stable patterns and are re-evaluated
+// against each round's route rather than a memoized one, so IP-ID-driven
+// verdicts stay per-round facts and never leak through interning. All
+// values are read-only to this package; nothing here mutates a Route, so
+// concurrent analysis of distinct routes needs no synchronization.
+package anomaly

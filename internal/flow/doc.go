@@ -1,0 +1,22 @@
+// Package flow extracts and hashes flow identifiers from serialized IPv4
+// packets, reproducing the per-flow load-balancing behaviour the paper
+// observed in deployed routers.
+//
+// The paper's key empirical finding (Section 2.1) is that routers "blindly
+// employ the first four octets in the transport-layer header" together with
+// IP-level fields (addresses, protocol, and sometimes TOS) to assign packets
+// to flows. KeyFirstFourOctets models that behaviour and is the default
+// everywhere in this repository; KeyFiveTuple models the textbook five-tuple
+// for comparison, and the ablation benchmarks contrast the two.
+//
+// # Determinism and concurrency contract
+//
+// Key extraction and bucket hashing are pure, stateless functions of the
+// packet bytes: no package-level state, no randomness, no allocation on the
+// hashing path. The same serialized probe always lands in the same bucket —
+// the property Paris traceroute exploits to hold a flow constant while
+// varying the TTL — and any number of goroutines may hash concurrently
+// without synchronization. netsim's routers and the tracers both depend on
+// this byte-for-byte agreement: a probe is load-balanced by exactly the
+// octets the tracer crafted.
+package flow

@@ -1,13 +1,3 @@
-// Package flow extracts and hashes flow identifiers from serialized IPv4
-// packets, reproducing the per-flow load-balancing behaviour the paper
-// observed in deployed routers.
-//
-// The paper's key empirical finding (Section 2.1) is that routers "blindly
-// employ the first four octets in the transport-layer header" together with
-// IP-level fields (addresses, protocol, and sometimes TOS) to assign packets
-// to flows. KeyFirstFourOctets models that behaviour and is the default
-// everywhere in this repository; KeyFiveTuple models the textbook five-tuple
-// for comparison, and the ablation benchmarks contrast the two.
 package flow
 
 import (

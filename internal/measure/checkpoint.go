@@ -40,7 +40,10 @@ import (
 // round late after a resume.
 
 // CheckpointVersion is the schema version Save writes and Load accepts.
-const CheckpointVersion = 1
+// Version 2 added the accumulator RTT tallies (AccState.RTTSamples and
+// friends); version-1 files are refused rather than resumed with silently
+// zeroed RTT statistics.
+const CheckpointVersion = 2
 
 // Checkpoint is a streaming campaign's serialized resumable state.
 type Checkpoint struct {
@@ -80,7 +83,11 @@ type AccState struct {
 	RoutesWithLoop, LoopInstances, ParisOnly int
 	RoutesWithCycle, CycleInstances          int
 	Failed, Skipped                          int
-	LoopByCause, CycleByCause                map[anomaly.Cause]int
+	// Hop RTT tallies (integer nanoseconds; see Accumulator).
+	RTTSamples                int   `json:",omitempty"`
+	RTTSum                    int64 `json:",omitempty"`
+	RTTMin, RTTMax            int64 `json:",omitempty"`
+	LoopByCause, CycleByCause map[anomaly.Cause]int
 	// Address sets, sorted ascending for deterministic files.
 	Addrs, LoopAddrs, CycleAddrs []netip.Addr
 	SkippedDests                 []netip.Addr `json:",omitempty"`
@@ -205,6 +212,7 @@ func snapshotAcc(a *Accumulator) AccState {
 		RoutesWithLoop: a.routesWithLoop, LoopInstances: a.loopInstances, ParisOnly: a.parisOnly,
 		RoutesWithCycle: a.routesWithCycle, CycleInstances: a.cycleInstances,
 		Failed: a.failed, Skipped: a.skipped,
+		RTTSamples: a.rttSamples, RTTSum: a.rttSum, RTTMin: a.rttMin, RTTMax: a.rttMax,
 		LoopByCause:  make(map[anomaly.Cause]int, len(a.loopByCause)),
 		CycleByCause: make(map[anomaly.Cause]int, len(a.cycleByCause)),
 		Addrs:        sortedAddrs(a.addrs),
@@ -250,6 +258,7 @@ func restoreAcc(st AccState) (*Accumulator, error) {
 	a.routesWithLoop, a.loopInstances, a.parisOnly = st.RoutesWithLoop, st.LoopInstances, st.ParisOnly
 	a.routesWithCycle, a.cycleInstances = st.RoutesWithCycle, st.CycleInstances
 	a.failed, a.skipped = st.Failed, st.Skipped
+	a.rttSamples, a.rttSum, a.rttMin, a.rttMax = st.RTTSamples, st.RTTSum, st.RTTMin, st.RTTMax
 	for c, n := range st.LoopByCause {
 		a.loopByCause[c] = n
 	}

@@ -3,6 +3,7 @@ package measure
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/asmap"
@@ -109,6 +110,10 @@ func WriteReport(w io.Writer, s *Stats, as *asmap.Table) {
 		s.Dests, s.Rounds, s.Routes)
 	fmt.Fprintf(w, "responses: %d   distinct addresses: %d   mid-route stars: %d   reached: %.1f%%\n",
 		s.Responses, s.AddrsSeen, s.MidStars, s.ReachedPct)
+	if s.RTT.Samples > 0 {
+		fmt.Fprintf(w, "hop RTTs: %d samples   mean: %s   min: %s   max: %s\n",
+			s.RTT.Samples, time.Duration(s.RTT.MeanNs()), time.Duration(s.RTT.MinNs), time.Duration(s.RTT.MaxNs))
+	}
 	if s.Robust.Failed > 0 || s.Robust.Skipped > 0 {
 		fmt.Fprintf(w, "fault tolerance: %d pairs probed, %d failed, %d skipped, %d destinations quarantined\n",
 			s.Robust.Probed, s.Robust.Failed, s.Robust.Skipped, s.Robust.QuarantinedDests)

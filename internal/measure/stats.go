@@ -83,6 +83,33 @@ type RobustStats struct {
 	QuarantinedDests int
 }
 
+// RTTStats aggregates per-hop round-trip times across every measured
+// route. All samples are virtual-clock times when the campaign runs
+// against a netsim network with dynamics enabled (or steps-derived
+// synthetic RTTs otherwise); hops with no RTT (stars, zero-RTT
+// transports) contribute nothing, so Samples is 0 on a dynamics-off
+// simulated campaign with the synthetic per-hop latency disabled.
+// Tallies are integer nanoseconds folded in any order, so the aggregate
+// is invariant to worker, shard, and batch scheduling like every other
+// statistic.
+type RTTStats struct {
+	// Samples counts hop RTT observations across both tracers.
+	Samples int
+	// SumNs accumulates the observations in nanoseconds; the mean is
+	// SumNs/Samples.
+	SumNs int64
+	// MinNs and MaxNs bound the observations (0 when Samples is 0).
+	MinNs, MaxNs int64
+}
+
+// MeanNs returns the mean hop RTT in nanoseconds, 0 without samples.
+func (r RTTStats) MeanNs() int64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return r.SumNs / int64(r.Samples)
+}
+
 // Stats bundles every Section 4 aggregate plus trace bookkeeping.
 type Stats struct {
 	Rounds     int
@@ -92,6 +119,7 @@ type Stats struct {
 	MidStars   int // stars amid responses (paper: 2.6 million)
 	AddrsSeen  int // distinct addresses discovered
 	ReachedPct float64
+	RTT        RTTStats
 	Robust     RobustStats
 	Loops      LoopStats
 	Cycles     CycleStats

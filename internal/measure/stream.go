@@ -163,6 +163,14 @@ func (r *foldRing) flush(a *Accumulator) {
 type Accumulator struct {
 	routes, reached, responses, midStars int
 
+	// Hop RTT tallies. Folded per pair per round — never memoized with
+	// the route, since RTTs vary round over round even on a stable path
+	// (interning equality deliberately ignores them). Integer sums keep
+	// the fold order-independent, so Merge stays schedule-invariant.
+	rttSamples     int
+	rttSum         int64
+	rttMin, rttMax int64
+
 	routesWithLoop, loopInstances, parisOnly int
 	routesWithCycle, cycleInstances          int
 	loopByCause, cycleByCause                map[anomaly.Cause]int
@@ -245,6 +253,28 @@ func (a *Accumulator) intern(m map[uint64]*routeMemo, rt *tracer.Route, fp uint6
 	return mo
 }
 
+// foldRTT tallies one route's hop round-trip times. Unlike the memoized
+// per-route statistics this runs on every folded pair: RTTs change round
+// over round even when the path is stable (the exact property interning
+// equality ignores). Hops without an RTT — stars, or transports that
+// report none — contribute nothing.
+func (a *Accumulator) foldRTT(rt *tracer.Route) {
+	for _, h := range rt.Hops {
+		if h.Star() || h.RTT <= 0 {
+			continue
+		}
+		ns := int64(h.RTT)
+		a.rttSum += ns
+		a.rttSamples++
+		if a.rttMin == 0 || ns < a.rttMin {
+			a.rttMin = ns
+		}
+		if ns > a.rttMax {
+			a.rttMax = ns
+		}
+	}
+}
+
 // Fold merges one completed pair into the partial statistics, attributing
 // it to round p.Round. Pairs for one destination must all be folded into
 // the same Accumulator in nondecreasing round order; pairs for different
@@ -305,6 +335,8 @@ func (a *Accumulator) foldAt(p *Pair, round int) {
 	}
 	a.responses += cm.responses + pm.responses
 	a.midStars += cm.midStars
+	a.foldRTT(p.Classic)
+	a.foldRTT(p.Paris)
 
 	if len(cm.loops) > 0 {
 		a.routesWithLoop++
@@ -371,6 +403,16 @@ func Merge(rounds, dests int, accs ...*Accumulator) *Stats {
 		reached += a.reached
 		s.Responses += a.responses
 		s.MidStars += a.midStars
+		s.RTT.Samples += a.rttSamples
+		s.RTT.SumNs += a.rttSum
+		if a.rttSamples > 0 {
+			if s.RTT.MinNs == 0 || a.rttMin < s.RTT.MinNs {
+				s.RTT.MinNs = a.rttMin
+			}
+			if a.rttMax > s.RTT.MaxNs {
+				s.RTT.MaxNs = a.rttMax
+			}
+		}
 		s.Robust.Failed += a.failed
 		s.Robust.Skipped += a.skipped
 		s.Robust.QuarantinedDests += len(a.skippedDests)

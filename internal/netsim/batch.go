@@ -3,6 +3,7 @@ package netsim
 import (
 	"net/netip"
 	"sync"
+	"time"
 )
 
 // ExchangeResult is the outcome of one probe/response exchange within an
@@ -16,6 +17,10 @@ type ExchangeResult struct {
 	// Steps is the number of node traversals, the latency proxy Exchange
 	// reports.
 	Steps int
+	// RTT is the probe's virtual round-trip time when the network has a
+	// dynamics layer installed (SetDynamics); zero otherwise, and zero
+	// when OK is false.
+	RTT time.Duration
 	// OK is false when no response made it back to the source (a star).
 	OK bool
 }
@@ -81,6 +86,17 @@ type exchCtx struct {
 	// routes memoizes forwarding-table lookups per (router, destination)
 	// for the duration of one batch, under the same hook gating as cfgs.
 	routes map[routeKey]routeEntry
+	// dyn and clk are the virtual-clock layer for this exchange; both nil
+	// when dynamics are disabled. The clock is reset per probe — each
+	// exchange runs its own event loop (see vclock.go on why batches are
+	// not interleaved by virtual time).
+	dyn *dynamics
+	clk *vclock
+	// links memoizes the time-invariant per-link delay parameters for the
+	// duration of one batch. Unlike cfgs/routes this memo is always exact
+	// — the parameters are pure functions of (seed, link) — so it needs
+	// no hook gating.
+	links map[uint32]linkParams
 }
 
 type routeKey struct {
@@ -133,6 +149,8 @@ type batchState struct {
 	arena  arena
 	cfgs   map[*Router]*routerConfig
 	routes map[routeKey]routeEntry
+	clk    vclock
+	links  map[uint32]linkParams
 	ctx    exchCtx
 }
 
@@ -176,6 +194,17 @@ func (n *Network) ExchangeBatch(probes [][]byte, out []ExchangeResult) {
 	defer batchPool.Put(st)
 	st.arena.rewind()
 	st.ctx = exchCtx{arena: &st.arena}
+	dy := n.dyn.Load()
+	var vround int64
+	if dy != nil {
+		vround = n.vround.Load()
+		if st.links == nil {
+			st.links = make(map[uint32]linkParams, 64)
+		} else {
+			clear(st.links)
+		}
+		st.ctx.dyn, st.ctx.clk, st.ctx.links = dy, &st.clk, st.links
+	}
 	if len(hooks) == 0 {
 		if st.cfgs == nil {
 			st.cfgs = make(map[*Router]*routerConfig, 32)
@@ -196,9 +225,16 @@ func (n *Network) ExchangeBatch(probes [][]byte, out []ExchangeResult) {
 			f(int(count), probe)
 		}
 		st.ctx.rng = prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}
+		if dy != nil {
+			st.clk.reset(dy.probeStart(vround, probe))
+		}
 		pkt := st.arena.copyOf(probe)
 		resp, steps, ok := n.run(&st.ctx, pkt, n.sourceGW, false)
 		out[i].Steps, out[i].OK = steps, ok
+		out[i].RTT = 0
+		if ok && dy != nil {
+			out[i].RTT = st.clk.elapsed()
+		}
 		if ok {
 			out[i].Resp = append(out[i].Resp[:0], resp...)
 		} else if out[i].Resp != nil {

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/packet"
 )
@@ -55,6 +56,14 @@ type Network struct {
 	RandomPerPacket bool
 
 	maxSteps int
+
+	// dyn is the compiled virtual-clock dynamics layer (nil when
+	// disabled), published atomically like a routerConfig snapshot so
+	// SetDynamics never races an exchange. vround is the current virtual
+	// round base; RoundStart hooks advance it between rounds. See
+	// vclock.go for the model and its determinism contract.
+	dyn    atomic.Pointer[dynamics]
+	vround atomic.Int64
 
 	probeCount atomic.Int64
 	onSend     []func(count int, probe []byte)
@@ -250,6 +259,15 @@ func (p *prng) Intn(n int) int { return int(p.next() % uint64(n)) }
 // Exchange is safe for concurrent use; concurrent calls forward in
 // parallel under the topology read lock.
 func (n *Network) Exchange(probe []byte) (resp []byte, steps int, ok bool) {
+	resp, steps, _, ok = n.ExchangeV(probe)
+	return resp, steps, ok
+}
+
+// ExchangeV is Exchange plus the probe's virtual round-trip time: the
+// virtual-clock time elapsed between injection and the response reaching
+// the source. rtt is zero when no dynamics layer is installed
+// (SetDynamics) or when no response comes back.
+func (n *Network) ExchangeV(probe []byte) (resp []byte, steps int, rtt time.Duration, ok bool) {
 	count := n.probeCount.Add(1)
 	n.topoMu.RLock()
 	haveEntry := n.haveEntry
@@ -263,11 +281,20 @@ func (n *Network) Exchange(probe []byte) (resp []byte, steps int, ok bool) {
 	}
 
 	ctx := exchCtx{rng: prng{state: splitmix64(n.seed ^ splitmix64(uint64(count)))}}
+	if dy := n.dyn.Load(); dy != nil {
+		ctx.dyn = dy
+		ctx.clk = &vclock{}
+		ctx.clk.reset(dy.probeStart(n.vround.Load(), probe))
+	}
 	// Copy: forwarding mutates TTL/checksum/src in place.
 	pkt := append([]byte(nil), probe...)
 	n.topoMu.RLock()
 	defer n.topoMu.RUnlock()
-	return n.run(&ctx, pkt, n.sourceGW, false)
+	resp, steps, ok = n.run(&ctx, pkt, n.sourceGW, false)
+	if ok && ctx.clk != nil {
+		rtt = ctx.clk.elapsed()
+	}
+	return resp, steps, rtt, ok
 }
 
 // run is the forwarding engine. pkt is located at interface `at`
@@ -281,6 +308,13 @@ func (n *Network) run(ctx *exchCtx, pkt []byte, at netip.Addr, originated bool) 
 	var hdr packet.IPv4
 	payload, err := packet.ParseIPv4Into(pkt, &hdr)
 	if err != nil {
+		return nil, 0, false
+	}
+	// Injection crosses the first link (source → gateway) on the virtual
+	// clock; every further traversal is charged where the packet moves
+	// (host handoff, loop bottom). Originated ICMP replies are built in
+	// place and charge nothing until they move.
+	if ctx.clk != nil && !n.advanceClock(ctx, at, len(pkt)) {
 		return nil, 0, false
 	}
 	for ; steps < n.maxSteps; steps++ {
@@ -306,6 +340,9 @@ func (n *Network) run(ctx *exchCtx, pkt []byte, at netip.Addr, originated bool) 
 			}
 			pkt, at, originated = r, nd.hostGW, false
 			if payload, err = packet.ParseIPv4Into(pkt, &hdr); err != nil {
+				return nil, steps, false
+			}
+			if ctx.clk != nil && !n.advanceClock(ctx, at, len(pkt)) {
 				return nil, steps, false
 			}
 			continue
@@ -357,6 +394,9 @@ func (n *Network) run(ctx *exchCtx, pkt []byte, at netip.Addr, originated bool) 
 			}
 			continue
 		}
+		if ctx.clk != nil && !n.advanceClock(ctx, next, len(pkt)) {
+			return nil, steps, false
+		}
 		at, originated = next, false
 	}
 	return nil, steps, false
@@ -404,6 +444,19 @@ func (n *Network) routerForward(ctx *exchCtx, r *Router, cfg *routerConfig, at n
 	if cfg.faults.Unreachable && isTransitProbe {
 		return netip.Addr{}, originateUnreachable(ctx, r, cfg, at, pkt, hdr, payload), false
 	}
+	// Scheduled dynamics at this router, evaluated functionally from the
+	// arrival interface and the virtual arrival time (never from router
+	// state, which concurrent probes at different virtual times share).
+	var rot int
+	if ctx.dyn != nil {
+		if k, ok := a4(at); ok {
+			if isTransitProbe && ctx.dyn.flapActive(k, ctx.clk.now) {
+				// Route flap: transit routes transiently withdrawn.
+				return netip.Addr{}, originateUnreachable(ctx, r, cfg, at, pkt, hdr, payload), false
+			}
+			rot = ctx.dyn.weightRot(k, ctx.clk.now)
+		}
+	}
 	if cfg.faults.ForwardOverride.IsValid() && !originated {
 		return cfg.faults.ForwardOverride, nil, false
 	}
@@ -421,7 +474,7 @@ func (n *Network) routerForward(ctx *exchCtx, r *Router, cfg *routerConfig, at n
 	if n.RandomPerPacket {
 		hopRng = &ctx.rng
 	}
-	hop, err := r.selectHop(rt, hdr, payload, hopRng)
+	hop, err := r.selectHop(rt, hdr, payload, hopRng, rot)
 	if err != nil {
 		return netip.Addr{}, nil, true
 	}

@@ -121,6 +121,22 @@
 //     per-probe streams but interleave counter assignment by schedule,
 //     which is the regime the paper's own parallel campaign operates in;
 //     figure-level statistics are schedule-free in expectation.
+//
+// # Virtual-clock dynamics
+//
+// SetDynamics installs an optional virtual-clock layer (vclock.go): seeded
+// per-link propagation/bandwidth/queueing delays, background cross-traffic
+// load, and scheduled dynamics — route flaps, balancer weight churn, link
+// brownouts — that evolve on a virtual timeline advanced only by the event
+// loop, never by the wall clock. Exchanges then report virtual RTTs
+// (ExchangeV, ExchangeResult.RTT). The layer extends, rather than weakens,
+// the determinism contract: every dynamics draw is a pure function of
+// (dynamics seed, arrival-interface address, virtual time), and a probe's
+// virtual start time hashes the probe's own bytes off the current round
+// base — never the probe counter — so with dynamics enabled, same-seed
+// campaign statistics remain byte-identical at any shard, worker, or batch
+// setting. With dynamics disabled (the default), the instant-and-static
+// forwarding path is untouched byte for byte.
 package netsim
 
 import (
@@ -460,8 +476,12 @@ func (r *Router) lookup(dst netip.Addr) (*Route, bool) {
 
 // selectHop chooses one of the route's equal-cost next hops for the packet
 // with the given parsed header and transport payload. rng is nil for
-// deterministic round-robin PerPacket spreading.
-func (r *Router) selectHop(rt *Route, hdr *packet.IPv4, payload []byte, rng *prng) (NextHop, error) {
+// deterministic round-robin PerPacket spreading. rot is the virtual-clock
+// weight-churn rotation (0 outside churn windows): it offsets the hashed
+// bucket of the flow-keyed policies, remapping flows to different next
+// hops without perturbing the hash itself — weight churn in real routers
+// likewise remaps buckets while the flow key stays stable.
+func (r *Router) selectHop(rt *Route, hdr *packet.IPv4, payload []byte, rng *prng, rot int) (NextHop, error) {
 	n := len(rt.Hops)
 	if n == 0 {
 		return NextHop{}, fmt.Errorf("netsim: route %v on %s has no next hops", rt.Prefix, r.Name)
@@ -475,7 +495,7 @@ func (r *Router) selectHop(rt *Route, hdr *packet.IPv4, payload []byte, rng *prn
 		if err != nil {
 			return NextHop{}, err
 		}
-		return rt.Hops[k.Bucket(n)], nil
+		return rt.Hops[(k.Bucket(n)+rot)%n], nil
 	case PerPacket:
 		if rng != nil {
 			return rt.Hops[rng.Intn(n)], nil
@@ -487,7 +507,7 @@ func (r *Router) selectHop(rt *Route, hdr *packet.IPv4, payload []byte, rng *prn
 		if err != nil {
 			return NextHop{}, err
 		}
-		return rt.Hops[k.Bucket(n)], nil
+		return rt.Hops[(k.Bucket(n)+rot)%n], nil
 	default:
 		return NextHop{}, fmt.Errorf("netsim: unknown balance policy %v", rt.Balance)
 	}

@@ -10,7 +10,9 @@ import (
 
 // Transport adapts a Network to the tracer.Transport and
 // tracer.BatchTransport interfaces: synchronous probe/response exchanges
-// with a synthetic RTT proportional to the number of node traversals.
+// with a synthetic RTT proportional to the number of node traversals — or,
+// when the network has a virtual-clock dynamics layer installed
+// (Network.SetDynamics), the probe's virtual round-trip time.
 //
 // Transport is safe for concurrent use: exchanges forward in parallel
 // (see the package comment's concurrency model), so one Transport can be
@@ -30,9 +32,12 @@ func NewTransport(n *Network) *Transport {
 
 // Exchange implements the tracer Transport contract.
 func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
-	resp, steps, ok := t.net.Exchange(probe)
+	resp, steps, rtt, ok := t.net.ExchangeV(probe)
 	if !ok {
 		return nil, 0, false
+	}
+	if rtt > 0 {
+		return resp, rtt, true
 	}
 	return resp, time.Duration(steps) * t.PerHop, true
 }
@@ -65,9 +70,12 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 		out[i].Resp = res[i].Resp
 		out[i].OK = res[i].OK
 		out[i].Err = nil // result slots recycle across batches (Scratch)
-		if res[i].OK {
+		switch {
+		case res[i].OK && res[i].RTT > 0:
+			out[i].RTT = res[i].RTT
+		case res[i].OK:
 			out[i].RTT = time.Duration(res[i].Steps) * t.PerHop
-		} else {
+		default:
 			out[i].RTT = 0
 		}
 		res[i] = ExchangeResult{}

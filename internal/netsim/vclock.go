@@ -1,0 +1,409 @@
+package netsim
+
+import (
+	"math"
+	"net/netip"
+	"time"
+)
+
+// This file is the virtual-clock dynamics layer: seeded per-link latency,
+// load-dependent queueing, and scheduled dynamics (route flaps, balancer
+// weight churn, link brownouts) evolving on a virtual timeline that never
+// reads the wall clock. Time exists only inside an exchange's event loop
+// (vclock below): every link traversal schedules an arrival event and time
+// advances exclusively by popping the earliest scheduled event.
+//
+// # Determinism contract
+//
+// Everything here is a pure function of (dynamics seed, link key, virtual
+// time). Link keys are the receiving interface's 4-byte address — the same
+// key the topology registry uses — so link parameters are identical across
+// shard replicas by construction (topo replicates the spine with identical
+// interface addresses). A probe's virtual start time is derived from the
+// current round base plus a hash of the probe's own bytes, never from the
+// network probe counter or the per-exchange RNG: counter and RNG values are
+// schedule-dependent under concurrency, and consulting either would break
+// the house invariant that campaign statistics are byte-identical at any
+// shard/worker/batch setting. For the same reason the dynamics never mutate
+// router state — a flapped router is not reconfigured, its flap is
+// re-evaluated functionally at each arrival — so concurrent probes at
+// different virtual times can never race on dynamics state.
+//
+// Each exchange runs its own event loop rather than sharing one per batch:
+// probes are independent by design (required for the schedule invariance
+// above), and interleaving exchanges by virtual arrival time would reorder
+// the routers' IP ID counters between the batched and sequential paths,
+// breaking ExchangeBatch's byte-identity contract. The queue is still a
+// real min-heap so future in-flight multiplicity (cross-traffic packets,
+// duplicated probes) slots in without restructuring.
+
+// Dynamics configures the virtual-clock layer of a Network. The zero value
+// (and any value with all three intensities zero) disables it entirely:
+// forwarding then takes the historical instant-and-static path, byte for
+// byte. Set it before probing begins (SetDynamics), like RandomPerPacket.
+type Dynamics struct {
+	// Seed fixes every per-link draw and every dynamics schedule. Two
+	// networks configured with the same seed replay identical delays,
+	// flaps, churn, and brownouts at identical virtual times.
+	Seed uint64
+	// Delay scales the per-link propagation and serialization delays,
+	// which are drawn once per link from seeded lognormal distributions
+	// (median 500µs propagation, median 100 Mbit/s bandwidth). 1 is the
+	// calibrated scale; 0 disables the delay term.
+	Delay float64
+	// Load is the background cross-traffic intensity in [0, 0.95]: each
+	// link carries that utilization of invisible traffic, inflating its
+	// queueing delay M/M/1-style (load/(1-load) of the link's mean
+	// service time), modulated per 100ms bucket by a seeded lognormal
+	// burst factor. 0 disables queueing.
+	Load float64
+	// Churn is the scheduled-dynamics rate in [0, 1]: it scales the
+	// per-window probabilities of route flaps (a router transiently
+	// refusing transit traffic with Destination Unreachable), balancer
+	// weight churn (equal-cost bucket rotation), and link brownouts
+	// (all packets arriving on a link dropped for the window). 0 disables
+	// scheduled dynamics.
+	Churn float64
+	// RoundDuration is the virtual time one campaign round spans; probes
+	// of round r start at uniformly hashed offsets within
+	// [r*RoundDuration, (r+1)*RoundDuration). 0 selects 30s.
+	RoundDuration time.Duration
+}
+
+// Enabled reports whether any dynamics term is active.
+func (d Dynamics) Enabled() bool { return d.Delay > 0 || d.Load > 0 || d.Churn > 0 }
+
+// Calibration constants of the dynamics models. All times are virtual
+// nanoseconds.
+const (
+	defaultRoundDur = int64(30 * time.Second)
+
+	// Per-link propagation delay: lognormal, median basePropNs, shape
+	// sigmaProp — long-tailed like measured one-way link delays.
+	basePropNs = 500e3
+	sigmaProp  = 0.8
+
+	// Per-link bandwidth: lognormal around 100 Mbit/s (0.1 bits per
+	// nanosecond); serialization delay is pktBits/bandwidth.
+	baseBWBitsPerNs = 0.1
+	sigmaBW         = 1.0
+
+	// Queueing: cross-traffic packets of crossPktBits drive the M/M/1
+	// term; the burst factor redraws per burstBucketNs of virtual time.
+	crossPktBits  = 8000.0
+	burstBucketNs = int64(100 * time.Millisecond)
+	sigmaBurst    = 1.0
+
+	// Scheduled dynamics: per-(link, window) activation probabilities,
+	// each scaled by Dynamics.Churn.
+	flapWindowNs  = int64(10 * time.Second)
+	flapProb      = 0.006
+	brownWindowNs = int64(2 * time.Second)
+	brownProb     = 0.004
+	rotWindowNs   = int64(5 * time.Second)
+	rotProb       = 0.5
+)
+
+// Hash salts decorrelating the per-purpose draw streams.
+const (
+	saltProp  = 0x70726f70a5a5a5a5
+	saltBW    = 0x62616e64d6d6d6d6
+	saltBurst = 0x6275727374575757
+	saltFlap  = 0x666c6170cbcbcbcb
+	saltBrown = 0x62726f776e6f7574
+	saltRot   = 0x726f74617465baba
+	saltStart = 0x7374617274f0f0f0
+)
+
+// dynamics is the compiled, immutable form of a Dynamics configuration,
+// published behind Network.dyn exactly like a routerConfig snapshot.
+type dynamics struct {
+	seed     uint64
+	delay    float64
+	load     float64
+	churn    float64
+	roundDur int64
+	// qFactor is the precomputed M/M/1 intensity term load/(1-load).
+	qFactor float64
+}
+
+// compileDynamics clamps and precomputes a Dynamics value; nil when
+// disabled.
+func compileDynamics(d Dynamics) *dynamics {
+	if !d.Enabled() {
+		return nil
+	}
+	if d.Load < 0 {
+		d.Load = 0
+	}
+	if d.Load > 0.95 {
+		d.Load = 0.95
+	}
+	if d.Churn < 0 {
+		d.Churn = 0
+	}
+	if d.Churn > 1 {
+		d.Churn = 1
+	}
+	if d.Delay < 0 {
+		d.Delay = 0
+	}
+	dy := &dynamics{
+		seed:     d.Seed,
+		delay:    d.Delay,
+		load:     d.Load,
+		churn:    d.Churn,
+		roundDur: int64(d.RoundDuration),
+	}
+	if dy.roundDur <= 0 {
+		dy.roundDur = defaultRoundDur
+	}
+	if dy.load > 0 {
+		dy.qFactor = dy.load / (1 - dy.load)
+	}
+	return dy
+}
+
+// u01 maps a hash to a uniform sample in [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// stdNormal derives an approximately standard-normal sample from a hash by
+// summing six chained uniforms (Irwin–Hall, variance 1/2, rescaled). The
+// tails are clipped at ±3·sqrt(2), which is fine for delay modelling — the
+// lognormal transform below supplies the heavy tail.
+func stdNormal(h uint64) float64 {
+	s := 0.0
+	x := h
+	for i := 0; i < 6; i++ {
+		x = splitmix64(x)
+		s += u01(x)
+	}
+	return (s - 3) * math.Sqrt2
+}
+
+// linkHash derives the per-link draw stream for one purpose (salt).
+func (dy *dynamics) linkHash(salt, k uint64) uint64 {
+	return splitmix64(splitmix64(dy.seed^salt) ^ k)
+}
+
+// windowHash derives the per-(link, time window) draw stream.
+func (dy *dynamics) windowHash(salt, k uint64, window int64) uint64 {
+	return splitmix64(dy.linkHash(salt, k) ^ uint64(window))
+}
+
+// linkParams is the time-invariant part of one link's delay model,
+// memoizable per batch because it depends only on (seed, link).
+type linkParams struct {
+	propNs      float64 // propagation delay, already Delay-scaled
+	bwBitsPerNs float64 // serialization bandwidth
+}
+
+// paramsOf draws (or recalls) the link's propagation delay and bandwidth.
+func (dy *dynamics) paramsOf(k uint32, memo map[uint32]linkParams) linkParams {
+	if memo != nil {
+		if p, ok := memo[k]; ok {
+			return p
+		}
+	}
+	p := linkParams{
+		propNs:      dy.delay * basePropNs * math.Exp(sigmaProp*stdNormal(dy.linkHash(saltProp, uint64(k)))),
+		bwBitsPerNs: baseBWBitsPerNs * math.Exp(sigmaBW*stdNormal(dy.linkHash(saltBW, uint64(k)))),
+	}
+	if memo != nil {
+		memo[k] = p
+	}
+	return p
+}
+
+// linkDelay is the virtual time a pktLen-byte packet spends crossing the
+// link into interface k when it departs at virtual time now: propagation
+// plus serialization (both Delay-scaled, time-invariant per link) plus the
+// load-driven queueing term (redrawn per burst bucket). Always at least
+// 1ns, so the event clock strictly advances.
+func (dy *dynamics) linkDelay(k uint32, now int64, pktLen int, memo map[uint32]linkParams) int64 {
+	ns := 0.0
+	if dy.delay > 0 || dy.load > 0 {
+		p := dy.paramsOf(k, memo)
+		if dy.delay > 0 {
+			ns += p.propNs + float64(pktLen*8)/p.bwBitsPerNs
+		}
+		if dy.load > 0 {
+			burst := math.Exp(sigmaBurst * stdNormal(dy.windowHash(saltBurst, uint64(k), now/burstBucketNs)))
+			ns += dy.qFactor * (crossPktBits / p.bwBitsPerNs) * burst
+		}
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	return int64(ns)
+}
+
+// flapActive reports whether the router reached through interface k has
+// transiently withdrawn its transit routes at virtual time now: it then
+// answers transit probes with Destination Unreachable, the paper's
+// "unreachability message" dynamic, for the duration of the flap window.
+func (dy *dynamics) flapActive(k uint32, now int64) bool {
+	if dy.churn <= 0 {
+		return false
+	}
+	return u01(dy.windowHash(saltFlap, uint64(k), now/flapWindowNs)) < flapProb*dy.churn
+}
+
+// brownout reports whether the link into interface k is browned out at
+// virtual time now: every packet arriving on it during the window is
+// dropped, producing mid-route stars (and lost responses).
+func (dy *dynamics) brownout(k uint32, now int64) bool {
+	if dy.churn <= 0 {
+		return false
+	}
+	return u01(dy.windowHash(saltBrown, uint64(k), now/brownWindowNs)) < brownProb*dy.churn
+}
+
+// weightRot is the equal-cost bucket rotation the router reached through
+// interface k applies at virtual time now: load-balancer weight churn
+// remaps flow buckets to different next hops window over window, without
+// touching the forwarding table. 0 means no rotation this window.
+func (dy *dynamics) weightRot(k uint32, now int64) int {
+	if dy.churn <= 0 {
+		return 0
+	}
+	h := dy.windowHash(saltRot, uint64(k), now/rotWindowNs)
+	if u01(h) >= rotProb*dy.churn {
+		return 0
+	}
+	return 1 + int(splitmix64(h)%15)
+}
+
+// probeStart places a probe on the virtual timeline: the round base plus a
+// seeded hash of the probe's own bytes, uniform within the round duration.
+// Hashing the probe bytes (not the probe counter) keeps start times — and
+// with them every dynamics draw the probe observes — invariant to worker,
+// shard, and batch scheduling.
+func (dy *dynamics) probeStart(round int64, probe []byte) int64 {
+	const prime = 1099511628211
+	h := dy.seed ^ saltStart
+	for _, b := range probe {
+		h = (h ^ uint64(b)) * prime
+	}
+	return round*dy.roundDur + int64(splitmix64(h)%uint64(dy.roundDur))
+}
+
+// vevent is one scheduled arrival: a packet reaching interface key at
+// virtual time at. seq breaks ties deterministically in schedule order.
+type vevent struct {
+	at  int64
+	seq uint64
+	key uint32
+}
+
+// before is the heap order: earliest virtual time first, schedule order
+// breaking ties.
+func (e vevent) before(o vevent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// vclock is one exchange's virtual event loop: a min-heap of scheduled
+// arrivals plus the current virtual time. Time never reads the wall clock
+// and advances only when step pops a scheduled event, so a simulated
+// round's 30 virtual seconds cost zero real ones.
+type vclock struct {
+	start int64
+	now   int64
+	seq   uint64
+	heap  []vevent
+}
+
+// reset rewinds the clock to a probe's virtual start time.
+func (c *vclock) reset(start int64) {
+	c.start, c.now, c.seq = start, start, 0
+	c.heap = c.heap[:0]
+}
+
+// schedule enqueues an arrival at interface key, delay ns from now.
+func (c *vclock) schedule(delay int64, key uint32) {
+	c.heap = append(c.heap, vevent{at: c.now + delay, seq: c.seq, key: key})
+	c.seq++
+	// Sift up.
+	for i := len(c.heap) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !c.heap[i].before(c.heap[p]) {
+			break
+		}
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
+		i = p
+	}
+}
+
+// step pops the earliest scheduled event and advances the clock to it.
+func (c *vclock) step() (vevent, bool) {
+	if len(c.heap) == 0 {
+		return vevent{}, false
+	}
+	ev := c.heap[0]
+	last := len(c.heap) - 1
+	c.heap[0] = c.heap[last]
+	c.heap = c.heap[:last]
+	// Sift down.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(c.heap) && c.heap[l].before(c.heap[small]) {
+			small = l
+		}
+		if r < len(c.heap) && c.heap[r].before(c.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		c.heap[i], c.heap[small] = c.heap[small], c.heap[i]
+		i = small
+	}
+	c.now = ev.at
+	return ev, true
+}
+
+// elapsed is the virtual time this exchange has consumed so far — the
+// probe's RTT once its response is delivered.
+func (c *vclock) elapsed() time.Duration { return time.Duration(c.now - c.start) }
+
+// SetDynamics installs (or, with a disabled config, removes) the network's
+// virtual-clock dynamics layer. Like RandomPerPacket it is a setup-time
+// switch: set it before the first exchange. With dynamics installed,
+// exchanges run on the virtual event clock — per-link delays, queueing,
+// flaps, churn, and brownouts all replay identically from Dynamics.Seed —
+// and report virtual RTTs; without, forwarding takes the historical
+// instant path byte for byte.
+func (n *Network) SetDynamics(d Dynamics) {
+	n.dyn.Store(compileDynamics(d))
+}
+
+// DynamicsEnabled reports whether a dynamics layer is installed.
+func (n *Network) DynamicsEnabled() bool { return n.dyn.Load() != nil }
+
+// SetVirtualRound advances the virtual clock's round base: probes injected
+// afterwards start within round r's virtual time span. Campaign drivers
+// call it from their RoundStart hook (topo.Generate wires this up), which
+// runs between rounds with no exchange in flight; a resumed campaign
+// replays RoundStart for completed rounds, so the base is restored
+// automatically. A no-op signal with dynamics disabled.
+func (n *Network) SetVirtualRound(r int) {
+	n.vround.Store(int64(r))
+}
+
+// advanceClock carries the packet across the link into interface `to`: the
+// arrival is scheduled after the link's delay and the event loop steps to
+// it. It reports false when the link is browned out at arrival time and
+// the packet is lost. Called only on the dynamics path (ctx.clk non-nil).
+func (n *Network) advanceClock(ctx *exchCtx, to netip.Addr, pktLen int) bool {
+	k, ok := a4(to)
+	if !ok {
+		return true // the walk drops non-IPv4 adjacencies itself
+	}
+	ctx.clk.schedule(ctx.dyn.linkDelay(k, ctx.clk.now, pktLen, ctx.links), k)
+	ev, _ := ctx.clk.step()
+	return !ctx.dyn.brownout(ev.key, ctx.clk.now)
+}

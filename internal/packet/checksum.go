@@ -1,15 +1,3 @@
-// Package packet implements the IPv4, UDP, TCP and ICMPv4 wire formats used
-// by both the tracers and the simulated network.
-//
-// Everything is built from scratch on the standard library. Packets travel
-// through the rest of the system as serialized byte slices so that routers
-// (internal/netsim) operate on exactly the header octets a real device would
-// hash for per-flow load balancing, and so that ICMP error quoting carries
-// the true on-the-wire probe bytes back to the tracer.
-//
-// The package also provides the checksum-targeted payload crafting that is
-// the heart of Paris traceroute's UDP probing: choosing payload bytes so the
-// UDP checksum equals a caller-selected value (Section 2.2 of the paper).
 package packet
 
 // Checksum computes the Internet checksum (RFC 1071) over b.

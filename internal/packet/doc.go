@@ -1,0 +1,25 @@
+// Package packet implements the IPv4, UDP, TCP and ICMPv4 wire formats used
+// by both the tracers and the simulated network.
+//
+// Everything is built from scratch on the standard library. Packets travel
+// through the rest of the system as serialized byte slices so that routers
+// (internal/netsim) operate on exactly the header octets a real device would
+// hash for per-flow load balancing, and so that ICMP error quoting carries
+// the true on-the-wire probe bytes back to the tracer.
+//
+// The package also provides the checksum-targeted payload crafting that is
+// the heart of Paris traceroute's UDP probing: choosing payload bytes so the
+// UDP checksum equals a caller-selected value (Section 2.2 of the paper).
+//
+// # Determinism and concurrency contract
+//
+// Serialization, parsing, and checksum arithmetic are pure functions of
+// their inputs: the same header struct always serializes to the same bytes,
+// and parsing those bytes recovers the same struct. There is no
+// package-level state, so concurrent use needs no synchronization; the
+// *Into variants write into caller-provided buffers for the alloc-free hot
+// paths (netsim's forwarding loop, batched probing) and never retain the
+// buffer. The parsers are exercised by fuzz tests and must never panic on
+// arbitrary input — malformed packets fail with an error, which is what
+// lets netsim and the live transport feed them raw bytes off the wire.
+package packet

@@ -1,7 +1,3 @@
-// Package topo constructs simulated topologies: a fluent builder over
-// netsim, exact presets for every figure in the paper (Figs. 1, 3, 4, 5, 6),
-// and a parameterized random generator for the Section 4 measurement
-// campaign.
 package topo
 
 import (

@@ -1,0 +1,34 @@
+// Package topo constructs simulated topologies: a fluent builder over
+// netsim, exact presets for every figure in the paper (Figs. 1, 3, 4, 5, 6),
+// and a parameterized random generator for the Section 4 measurement
+// campaign.
+//
+// # Determinism and concurrency contract
+//
+// Generate is a pure function of its GenConfig: the same config yields
+// byte-identical topologies — router and interface addresses, routes,
+// load-balancer placement, destination lists, and ground truth — on every
+// run. All randomness flows from GenConfig.Seed through dedicated
+// sub-streams, so enabling one feature never perturbs the draws of another.
+//
+// Sharding (GenConfig.Shards) splits the destination space across replica
+// networks for parallel campaigns without changing what is measured: spine
+// routers are replicated with identical interface addresses and pod
+// interfaces are allocated from a shared pool in pod order, so every
+// (link, address) a probe can observe is the same at any shard count. The
+// campaign-level invariance tests pin that statistics are byte-identical
+// across shard counts.
+//
+// Scenario.RoundStart is the between-rounds hook: it advances the
+// virtual-clock round (netsim.Network.SetVirtualRound) on every shard, then
+// draws the inter-round routing dynamics — router flaps per FlapProbability
+// and loop toggles per LoopProbability — from a dedicated seeded stream. It
+// runs on the campaign goroutine between round barriers, never concurrently
+// with probing. The virtual-clock knobs (Delay, Load, Churn, DynamicsSeed)
+// install a netsim.Dynamics with one shared seed on all shards, so dynamics
+// draws — keyed by (seed, link, virtual time) — agree across shardings.
+//
+// The one sanctioned departure from reproducibility is FlipPerProbe, whose
+// draws interleave with probe schedule; byte-reproducible campaigns leave
+// it zero (see the measure package's determinism contract).
+package topo

@@ -101,6 +101,20 @@ type GenConfig struct {
 
 	// NATPodDests, ZeroPodDests, FlapPodDests size the rare-cause pods.
 	NATPodDests, ZeroPodDests, FlapPodDests int
+
+	// Delay, Load, and Churn switch on netsim's virtual-clock dynamics
+	// layer (netsim.Dynamics): per-link propagation/bandwidth/queueing
+	// delay scale, background cross-traffic intensity in [0, 0.95], and
+	// the scheduled-dynamics rate (route flaps, balancer weight churn,
+	// link brownouts) in [0, 1]. All zero — the default — leaves the
+	// simulator on its historical instant-and-static path, byte for byte.
+	// Every shard network receives the same dynamics configuration, and
+	// the generated RoundStart hook advances the virtual round on every
+	// shard, so virtual time stays aligned across shardings.
+	Delay, Load, Churn float64
+	// DynamicsSeed fixes the dynamics layer's draws independently of the
+	// topology seed; 0 derives it from Seed.
+	DynamicsSeed int64
 }
 
 // DefaultGenConfig returns the calibrated configuration at a reduced scale
@@ -378,11 +392,38 @@ func Generate(cfg GenConfig) *Scenario {
 	}
 	sc.Truth.Routers = pool.routerSeq
 
+	// Virtual-clock dynamics: install the (identical) compiled layer on
+	// every shard network. With all intensities zero SetDynamics stores
+	// nil and the forwarding path is untouched.
+	if cfg.Delay > 0 || cfg.Load > 0 || cfg.Churn > 0 {
+		dseed := cfg.DynamicsSeed
+		if dseed == 0 {
+			dseed = cfg.Seed ^ 0x7ea1
+		}
+		dyn := netsim.Dynamics{
+			Seed:  uint64(dseed),
+			Delay: cfg.Delay,
+			Load:  cfg.Load,
+			Churn: cfg.Churn,
+		}
+		for _, net := range sc.Nets {
+			net.SetDynamics(dyn)
+		}
+	}
+
 	// Inter-round dynamics.
 	flapRouters := gen.flapRouters
 	looperPairs := gen.looperPairs
+	nets := sc.Nets
 	dynRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0ddba11))
 	sc.RoundStart = func(round int) {
+		// Advance the virtual clock's round base on every shard first: a
+		// harmless atomic store when dynamics are off, and the hook runs
+		// between rounds with no exchange in flight, so probes of round r
+		// always start within round r's virtual span.
+		for _, net := range nets {
+			net.SetVirtualRound(round)
+		}
 		for _, f := range flapRouters {
 			flapped := dynRng.Float64() < cfg.FlapProbability
 			f.SetFaults(netsim.Faults{Unreachable: flapped})

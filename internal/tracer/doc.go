@@ -1,0 +1,34 @@
+// Package tracer implements the probing engines compared in the paper:
+// classic traceroute (UDP port-varying and ICMP Echo sequence-varying, after
+// Jacobson's tool and NetBSD traceroute 1.4a5), Toren-style tcptraceroute,
+// and Paris traceroute in its UDP, ICMP Echo and TCP variants.
+//
+// All engines share one Transport (the simulated network, or a live one) and
+// one response-matching pipeline; they differ only in how probe header
+// fields are varied — which is precisely the paper's point. Every hop record
+// carries the three Paris observables: the probe TTL quoted inside ICMP
+// errors, the response TTL, and the response IP ID (Section 2.2).
+//
+// # Determinism and concurrency contract
+//
+// An engine is a pure function of (its Options, the destination, and the
+// transport's behaviour): Trace holds no state across calls beyond the
+// Options it was built with, so the same engine value may trace many
+// destinations concurrently as long as the Transport is safe for concurrent
+// use — both netsim's and the live transport are. Probe bytes are built
+// deterministically from Options (source port seeding included), so against
+// a transport whose responses are a pure function of the probe bytes, two
+// traces of the same destination are byte-identical, hop for hop.
+//
+// Hop.RTT is whatever the transport reports for the exchange — netsim's
+// virtual-clock RTT when dynamics are enabled, its synthetic steps-derived
+// latency otherwise, a wall-clock measurement on the live transport — and
+// is carried, never interpreted: engines make no timing decisions from it,
+// which keeps traces schedule-independent.
+//
+// BatchTransport is an optional fast path: engines that detect it submit a
+// whole TTL ladder in one call. The contract is strict equivalence — a
+// batched trace must return byte-identical hops to the sequential trace
+// (netsim pins this under its dynamics layer too), so batching is purely a
+// throughput decision.
+package tracer

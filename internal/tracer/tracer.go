@@ -1,13 +1,3 @@
-// Package tracer implements the probing engines compared in the paper:
-// classic traceroute (UDP port-varying and ICMP Echo sequence-varying, after
-// Jacobson's tool and NetBSD traceroute 1.4a5), Toren-style tcptraceroute,
-// and Paris traceroute in its UDP, ICMP Echo and TCP variants.
-//
-// All engines share one Transport (the simulated network, or a live one) and
-// one response-matching pipeline; they differ only in how probe header
-// fields are varied — which is precisely the paper's point. Every hop record
-// carries the three Paris observables: the probe TTL quoted inside ICMP
-// errors, the response TTL, and the response IP ID (Section 2.2).
 package tracer
 
 import (
