@@ -33,7 +33,8 @@
 //
 // The campaign is fault tolerant and resumable. SIGINT/SIGTERM stop it at
 // the next destination boundary, print the partial statistics, and — with
-// -checkpoint set — leave a checkpoint a later -resume run continues from,
+// -checkpoint set — leave a checkpoint a later -resume run continues from
+// (a second SIGINT/SIGTERM during the drain forces an immediate exit 130),
 // re-running only the rounds after the last checkpointed one. A simulator
 // campaign resumed with the same flags reproduces the uninterrupted run's
 // statistics exactly when run with -workers 1 -flips=false (the
@@ -121,6 +122,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// A second signal during the graceful drain forces an immediate exit:
+	// signal.Notify fans each signal out to every registered channel, so
+	// this channel sees the same deliveries NotifyContext consumes.
+	forceC := make(chan os.Signal, 2)
+	signal.Notify(forceC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-forceC
+		<-forceC
+		fmt.Fprintln(os.Stderr, "anomaly-study: second signal: forced immediate exit")
+		os.Exit(130)
+	}()
 	haltRequested := false
 	haltCancel := context.CancelFunc(func() {})
 	if *haltAfter > 0 {

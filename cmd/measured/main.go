@@ -1,0 +1,280 @@
+// Command measured is the always-on measurement service: the paper's paired
+// classic/Paris probing run as a long-lived daemon (internal/daemon) instead
+// of a one-shot campaign. It owns per-destination probing cadence (periodic
+// re-probe, immediate re-exploration when a route's fingerprint changes),
+// survives worker panics and wedged transports, sheds load explicitly when
+// the due queue exceeds capacity, serves health/stats/events over HTTP, and
+// checkpoints continuously so a kill -9 resumes where it left off.
+//
+// Usage:
+//
+//	measured [-dests N] [-seed N] [-listen ADDR] [-period N] [-interval D]
+//	         [-workers N] [-queue-cap N] [-rate P] [-burst N]
+//	         [-stall-timeout D] [-max-restarts N]
+//	         [-checkpoint ck.json] [-checkpoint-every N] [-fresh]
+//	         [-max-rounds N] [-delay S] [-load L] [-churn C]
+//	         [-dynamics-seed N] [-flips] [-batch]
+//	         [-fault-seed N] [-fault-transient-every K] [-fault-drop-every K]
+//	         [-fault-panic-every K]
+//	measured -live -live-dests A.B.C.D[,...] [-timeout D] [-retries N]
+//
+// The default transport is the deterministic simulator over a generated
+// topology; -live swaps in the raw-socket transport (root or CAP_NET_RAW).
+// -rate installs a token-bucket pacer over whichever transport is selected,
+// capping the process's aggregate probe rate. The -fault-* flags afflict
+// the simulator with seeded transient-error, response-drop, and injected-
+// panic schedules — the hermetic soak configuration CI exercises the
+// supervision machinery with.
+//
+// Signals: the first SIGINT/SIGTERM starts a graceful drain (finish the
+// round, write the final checkpoint, exit 130); a second signal forces an
+// immediate exit 130 without draining.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/asmap"
+	"repro/internal/daemon"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/tracer"
+	"repro/internal/tracer/live"
+)
+
+func main() {
+	dests := flag.Int("dests", 200, "number of simulated destinations")
+	seed := flag.Int64("seed", 42, "topology, port, and dynamics seed")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address for /healthz /readyz /stats /events (empty: no HTTP)")
+	period := flag.Int("period", 5, "re-probe cadence in scheduler rounds")
+	interval := flag.Duration("interval", time.Second, "wall-clock pause between scheduler rounds")
+	workers := flag.Int("workers", 4, "supervised probing workers")
+	queueCap := flag.Int("queue-cap", 0, "per-round job admission bound; overflow is shed oldest-first (0: 8*workers)")
+	rate := flag.Float64("rate", 0, "aggregate probe rate cap in probes/second (0: unpaced)")
+	burst := flag.Int("burst", 64, "probe pacer burst capacity")
+	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "watchdog deadline per trace; stalled traces are abandoned")
+	maxRestarts := flag.Int("max-restarts", 8, "panic restarts per worker slot before it stays dead")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for continuous checkpointing and startup auto-recovery")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "write the checkpoint every N completed rounds")
+	fresh := flag.Bool("fresh", false, "ignore an existing checkpoint instead of recovering from it")
+	maxRounds := flag.Int("max-rounds", 0, "stop after N completed rounds (0: run until signalled)")
+	batch := flag.Bool("batch", true, "submit each trace's TTL ladder as batched exchanges")
+	flips := flag.Bool("flips", true, "enable mid-trace path flips (disable for reproducible soaks)")
+	delay := flag.Float64("delay", 0, "virtual-clock per-link delay scale (1 = calibrated; 0 disables)")
+	load := flag.Float64("load", 0, "virtual-clock background cross-traffic intensity in [0, 0.95]")
+	churn := flag.Float64("churn", 0, "virtual-clock scheduled-dynamics rate in [0, 1]")
+	dynamicsSeed := flag.Int64("dynamics-seed", 0, "seed for the virtual-clock dynamics draws (0: derived from -seed)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (with any -fault-*-every flag)")
+	faultTransient := flag.Int("fault-transient-every", 0, "afflict ~every k-th destination with a transient-error window")
+	faultDrop := flag.Int("fault-drop-every", 0, "afflict ~every k-th destination with a response-drop burst")
+	faultPanic := flag.Int("fault-panic-every", 0, "afflict ~every k-th destination with an injected-panic window")
+	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
+	liveDests := flag.String("live-dests", "", "comma-separated IPv4 destinations for -live")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigC := make(chan os.Signal, 2)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigC
+		fmt.Fprintln(os.Stderr, "measured: signal received; draining (second signal forces exit)")
+		cancel()
+		<-sigC
+		fmt.Fprintln(os.Stderr, "measured: second signal: forced immediate exit")
+		os.Exit(130)
+	}()
+
+	cfg := daemon.Config{
+		Period:            *period,
+		Interval:          *interval,
+		Workers:           *workers,
+		QueueCap:          *queueCap,
+		MaxWorkerRestarts: *maxRestarts,
+		StallTimeout:      *stallTimeout,
+		CheckpointPath:    *checkpoint,
+		CheckpointEvery:   *checkpointEvery,
+		FreshStart:        *fresh,
+		Probe:             measure.ProbeConfig{PortSeed: *seed, Batch: *batch},
+	}
+
+	var asNames *asmap.Table
+	if *liveMode {
+		ds, tp, err := liveTransport(ctx, *liveDests, *timeout, *retries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "measured:", err)
+			os.Exit(2)
+		}
+		defer tp.Close()
+		cfg.Dests = ds
+		cfg.Transport = tp
+		cfg.Probe.MinTTL = 1
+	} else {
+		gc := topo.DefaultGenConfig()
+		gc.Seed = *seed
+		gc.Destinations = *dests
+		if !*flips {
+			gc.FlipPerProbe = 0
+		}
+		gc.Delay = *delay
+		gc.Load = *load
+		gc.Churn = *churn
+		gc.DynamicsSeed = *dynamicsSeed
+		sc := topo.Generate(gc)
+		asNames = sc.AS
+		cfg.Dests = sc.Dests
+		cfg.RoundStart = sc.RoundStart
+		var tp tracer.Transport = sc.Transport()
+		if *faultTransient > 0 || *faultDrop > 0 || *faultPanic > 0 {
+			tp = netsim.WrapFaults(tp, netsim.FaultPlan{
+				Seed:           *faultSeed,
+				TransientEvery: *faultTransient, TransientStart: 1, TransientLen: 40,
+				DropEvery: *faultDrop, DropStart: 2, DropLen: 30,
+				PanicEvery: *faultPanic, PanicStart: 3, PanicLen: 2,
+			})
+		}
+		cfg.Transport = tp
+		cfg.TransportState = probeCounters(sc.Nets)
+		cfg.RestoreTransport = restoreProbeCounters(sc.Nets)
+	}
+	if *rate > 0 {
+		cfg.Transport = tracer.NewPacedTransport(cfg.Transport,
+			tracer.NewPacer(*rate, float64(*burst), nil, nil))
+	}
+
+	d, err := daemon.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measured:", err)
+		os.Exit(1)
+	}
+	if ok, at := d.Recovered(); ok {
+		fmt.Fprintf(os.Stderr, "measured: recovered from %s at round %d\n", *checkpoint, at)
+	}
+
+	var srv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "measured:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "measured: listening on %v\n", ln.Addr())
+		srv = &http.Server{Handler: d.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "measured: http:", err)
+			}
+		}()
+	}
+
+	runErr := run(ctx, d, *maxRounds, *interval)
+	if srv != nil {
+		// Close, not Shutdown: /events streams hold connections open
+		// indefinitely and would stall a graceful shutdown forever.
+		_ = srv.Close()
+	}
+	measure.WriteReport(os.Stdout, d.Snapshot(), asNames)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "measured:", runErr)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		os.Exit(130) // interrupted by a signal
+	}
+}
+
+// run drives the daemon: forever on the production loop, or for a bounded
+// number of rounds with -max-rounds (the deterministic soak configuration).
+func run(ctx context.Context, d *daemon.Daemon, maxRounds int, interval time.Duration) error {
+	if maxRounds <= 0 {
+		return d.Run(ctx)
+	}
+	for d.Round() < int64(maxRounds) && ctx.Err() == nil {
+		d.Tick()
+		if d.Round() >= int64(maxRounds) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(interval):
+		}
+	}
+	return d.Stop()
+}
+
+// probeCounters serializes each shard network's probe counter — the opaque
+// transport cursor the daemon persists so a restarted soak replays the same
+// per-packet schedules.
+func probeCounters(nets []*netsim.Network) func() json.RawMessage {
+	return func() json.RawMessage {
+		counts := make([]int, len(nets))
+		for i, n := range nets {
+			counts[i] = n.ProbeCount()
+		}
+		b, err := json.Marshal(struct{ ProbeCounts []int }{counts})
+		if err != nil {
+			return nil
+		}
+		return b
+	}
+}
+
+// restoreProbeCounters rewinds each shard network to the checkpointed probe
+// counter during daemon recovery.
+func restoreProbeCounters(nets []*netsim.Network) func(json.RawMessage) error {
+	return func(raw json.RawMessage) error {
+		if len(raw) == 0 {
+			return nil
+		}
+		var st struct{ ProbeCounts []int }
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("checkpoint transport state: %w", err)
+		}
+		if len(st.ProbeCounts) != len(nets) {
+			return fmt.Errorf("checkpoint transport state covers %d shards, daemon has %d", len(st.ProbeCounts), len(nets))
+		}
+		for i, n := range nets {
+			n.SetProbeCount(st.ProbeCounts[i])
+		}
+		return nil
+	}
+}
+
+// liveTransport parses -live-dests and opens the raw-socket transport,
+// failing with a clear explanation when raw sockets are unavailable.
+func liveTransport(ctx context.Context, destList string, timeout time.Duration, retries int) ([]netip.Addr, *live.Transport, error) {
+	if destList == "" {
+		return nil, nil, fmt.Errorf("-live requires -live-dests A.B.C.D[,A.B.C.D...]")
+	}
+	var ds []netip.Addr
+	for _, s := range strings.Split(destList, ",") {
+		d, err := netip.ParseAddr(strings.TrimSpace(s))
+		if err != nil || !d.Is4() {
+			return nil, nil, fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
+		}
+		ds = append(ds, d)
+	}
+	src, err := live.LocalIPv4()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cannot determine local IPv4 source: %w", err)
+	}
+	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, Context: ctx})
+	if err != nil {
+		return nil, nil, fmt.Errorf("live probing unavailable: %w", err)
+	}
+	return ds, tp, nil
+}

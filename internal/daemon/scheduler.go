@@ -1,0 +1,72 @@
+package daemon
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/measure"
+)
+
+// destSched is one destination's scheduler state. Every field is guarded by
+// the daemon mutex except hints, which only the single worker running the
+// destination's in-flight job touches (a destination is never in flight
+// twice — inFlight gates re-dispatch).
+type destSched struct {
+	dest netip.Addr
+	idx  int
+	// nextDue is the earliest round the destination may be probed in.
+	nextDue int64
+	// inFlight marks a dispatched, unresolved job.
+	inFlight bool
+	// seen is true once a pair completed; the first completion never
+	// counts as a route change.
+	seen bool
+	// parisFP and classicFP are the last completed pair's route
+	// fingerprints — the interned identity the re-exploration trigger
+	// compares against.
+	parisFP, classicFP uint64
+	// consecFails and quarantined are the error budget, with campaign
+	// semantics: QuarantineAfter consecutive failures quarantine the
+	// destination; a success resets the count.
+	consecFails int
+	quarantined bool
+	// hints carries the batched ladder lengths between the destination's
+	// pairs.
+	hints measure.PathHints
+	// pairs counts completed (OK) pairs, for observability.
+	pairs int64
+}
+
+// scheduler owns the per-destination cadence table.
+type scheduler struct {
+	dests  []*destSched
+	period int64
+}
+
+func newScheduler(dests []netip.Addr, period int64) *scheduler {
+	s := &scheduler{dests: make([]*destSched, len(dests)), period: period}
+	for i, d := range dests {
+		// Everything is due at round 0; admission shedding spreads the
+		// initial herd when the queue bound is tighter than the list.
+		s.dests[i] = &destSched{dest: d, idx: i}
+	}
+	return s
+}
+
+// due lists the destinations runnable in round, oldest due first (ties in
+// list order), excluding in-flight ones. Caller holds the daemon mutex.
+func (s *scheduler) due(round int64) []*destSched {
+	var out []*destSched
+	for _, ds := range s.dests {
+		if !ds.inFlight && ds.nextDue <= round {
+			out = append(out, ds)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].nextDue != out[j].nextDue {
+			return out[i].nextDue < out[j].nextDue
+		}
+		return out[i].idx < out[j].idx
+	})
+	return out
+}

@@ -592,44 +592,25 @@ func (c *Campaign) sleep(d time.Duration) {
 }
 
 // measureOne performs the paper's two steps for destination d (the idx-th
-// entry of the list, probed by worker w): a Paris traceroute with an
-// unchanging five-tuple, then a classic traceroute with the same timing
-// parameters. In batch mode both traces reuse worker w's scratch buffers
-// and seed their first window from the destination's previous ladder
-// length.
+// entry of the list, probed by worker w) through the shared measurePair
+// core (prober.go). In batch mode both traces reuse worker w's scratch
+// buffers and seed their first window from the destination's previous
+// ladder length.
 func (c *Campaign) measureOne(w, round, idx int, d netip.Addr) (Pair, error) {
-	parisOpts := c.base
-	parisOpts.SrcPort = c.parisSrc[idx]
-	parisOpts.DstPort = c.parisDst[idx]
+	var scratch *tracer.Scratch
+	var hints PathHints
 	if c.cfg.Batch {
-		parisOpts.Scratch = c.scratch[w]
-		parisOpts.PathHint = c.parisHint[idx]
+		scratch = c.scratch[w]
+		hints = PathHints{Paris: c.parisHint[idx], Classic: c.clasHint[idx]}
 	}
-	paris := tracer.NewParisUDP(c.tp, parisOpts)
-	pr, err := paris.Trace(d)
+	p, newHints, err := measurePair(c.tp, c.base, scratch, c.cfg.PortSeed,
+		d, round, c.parisSrc[idx], c.parisDst[idx], hints)
 	if err != nil {
-		return Pair{}, fmt.Errorf("measure: paris trace to %v: %w", d, err)
+		return Pair{}, err
 	}
-
-	// Classic traceroute sets its Source Port to PID + 32768; every
-	// invocation is a fresh process, so the port — part of the flow
-	// identifier — changes per trace. Emulate with a per-(round, dest)
-	// pseudo-PID.
-	classicOpts := c.base
-	classicOpts.SrcPort = 32768 + uint16(portFor(c.cfg.PortSeed, d, uint64(round)*0x9e37+0xc1a5)%30000)
 	if c.cfg.Batch {
-		classicOpts.Scratch = c.scratch[w]
-		classicOpts.PathHint = c.clasHint[idx]
+		c.parisHint[idx] = newHints.Paris
+		c.clasHint[idx] = newHints.Classic
 	}
-	classic := tracer.NewClassicUDP(c.tp, classicOpts)
-	cr, err := classic.Trace(d)
-	if err != nil {
-		return Pair{}, fmt.Errorf("measure: classic trace to %v: %w", d, err)
-	}
-
-	if c.cfg.Batch {
-		c.parisHint[idx] = len(pr.Hops)
-		c.clasHint[idx] = len(cr.Hops)
-	}
-	return Pair{Dest: d, Round: round, Paris: pr, Classic: cr}, nil
+	return p, nil
 }

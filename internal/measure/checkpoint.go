@@ -303,38 +303,78 @@ func restoreAcc(st AccState) (*Accumulator, error) {
 	return a, nil
 }
 
-// Save writes the checkpoint atomically: the JSON is written to a temp file
-// in the destination directory and renamed into place, so a kill mid-write
-// leaves the previous checkpoint intact.
-func (ck *Checkpoint) Save(path string) error {
-	data, err := json.Marshal(ck)
+// State snapshots the accumulator's partial statistics for serialization.
+// The accumulator must be quiescent (no concurrent Fold); the snapshot is
+// deterministic — address sets and destinations sorted, routes in
+// first-seen order — so two equal accumulators serialize to identical
+// bytes. The always-on daemon checkpoints through this, the campaign
+// through the Checkpoint wrapper below.
+func (a *Accumulator) State() AccState { return snapshotAcc(a) }
+
+// RestoreAccumulator rebuilds an accumulator from a State snapshot:
+// scalars and sets load directly, and the derived memo/graph layers are
+// rebuilt by replaying the interned routes through the original analysis
+// code (the same path Campaign.Resume uses).
+func RestoreAccumulator(st AccState) (*Accumulator, error) { return restoreAcc(st) }
+
+// AtomicWriteJSON writes v as JSON to path via a temp file in the same
+// directory, fsynced and renamed into place, so a kill mid-write leaves
+// the previous file intact. The temp file is removed on every error path,
+// and a successful write sweeps stale "<base>.tmp*" siblings left behind
+// by writers killed mid-Save — the file's writer is assumed to be a single
+// process, which is the checkpoint contract.
+func AtomicWriteJSON(path string, v any) error {
+	data, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("measure: encoding checkpoint: %w", err)
+		return fmt.Errorf("measure: encoding %s: %w", filepath.Base(path), err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
-		return fmt.Errorf("measure: checkpoint temp file: %w", err)
+		return fmt.Errorf("measure: temp file for %s: %w", base, err)
 	}
+	tmpName := tmp.Name()
+	installed := false
+	defer func() {
+		// One cleanup for every failure path: an error anywhere below
+		// must never leave the .tmp file behind.
+		if !installed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: writing checkpoint: %w", err)
+		return fmt.Errorf("measure: writing %s: %w", base, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: syncing checkpoint: %w", err)
+		return fmt.Errorf("measure: syncing %s: %w", base, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: closing checkpoint: %w", err)
+		return fmt.Errorf("measure: closing %s: %w", base, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: installing checkpoint: %w", err)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		installed = true // already removed; skip the deferred double-remove
+		return fmt.Errorf("measure: installing %s: %w", base, err)
+	}
+	installed = true
+	// Writers killed between CreateTemp and Rename leak their randomized
+	// temp name forever (no later Save ever picks the same name). Sweep
+	// them now that a complete file is installed.
+	if stale, err := filepath.Glob(filepath.Join(dir, base+".tmp*")); err == nil {
+		for _, s := range stale {
+			os.Remove(s)
+		}
 	}
 	return nil
+}
+
+// Save writes the checkpoint atomically on the shared AtomicWriteJSON
+// path: temp file + fsync + rename, stale temp files swept, so a kill
+// mid-write leaves the previous checkpoint intact and no .tmp debris
+// accumulates.
+func (ck *Checkpoint) Save(path string) error {
+	return AtomicWriteJSON(path, ck)
 }
 
 // LoadCheckpoint reads a checkpoint written by Save.

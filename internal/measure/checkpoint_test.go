@@ -382,3 +382,73 @@ func TestCheckpointFilesDeterministic(t *testing.T) {
 		t.Error("identical campaigns wrote different checkpoint bytes")
 	}
 }
+
+// tmpDebris lists any "<base>.tmp*" siblings of path — the leak the atomic
+// writer must never leave behind.
+func tmpDebris(t *testing.T, path string) []string {
+	t.Helper()
+	stale, err := filepath.Glob(path + ".tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stale
+}
+
+// TestAtomicWriteCleansTempOnError is the regression test for the temp-file
+// leak: every error path of AtomicWriteJSON must remove its temp file. The
+// rename is forced to fail by making the target path a directory.
+func TestAtomicWriteCleansTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "ck.json")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteJSON(target, map[string]int{"round": 3}); err == nil {
+		t.Fatal("rename onto a directory should fail")
+	}
+	if stale := tmpDebris(t, target); len(stale) != 0 {
+		t.Fatalf("failed write leaked temp files: %v", stale)
+	}
+	// The unencodable-value path fails before a temp file even exists.
+	target2 := filepath.Join(dir, "ck2.json")
+	if err := AtomicWriteJSON(target2, func() {}); err == nil {
+		t.Fatal("unencodable value should fail")
+	}
+	if stale := tmpDebris(t, target2); len(stale) != 0 {
+		t.Fatalf("encode failure leaked temp files: %v", stale)
+	}
+}
+
+// TestAtomicWriteSweepsStaleTemps: a writer killed between CreateTemp and
+// Rename leaves a randomized temp name no later Save reuses; the next
+// successful write must sweep it.
+func TestAtomicWriteSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "ck.json")
+	for _, stale := range []string{target + ".tmp1111", target + ".tmp2222"} {
+		if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bystander := filepath.Join(dir, "other.json.tmp999")
+	if err := os.WriteFile(bystander, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteJSON(target, map[string]int{"round": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if stale := tmpDebris(t, target); len(stale) != 0 {
+		t.Fatalf("successful write left stale temps: %v", stale)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Fatalf("sweep must only touch its own base's temps: %v", err)
+	}
+	var got map[string]int
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil || got["round"] != 7 {
+		t.Fatalf("written content wrong: %v %v", got, err)
+	}
+}

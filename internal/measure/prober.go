@@ -1,0 +1,145 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/tracer"
+)
+
+// This file is the pair-measurement core shared by the batch campaign and
+// the always-on daemon (internal/daemon): one paired classic+Paris trace
+// toward one destination, with the paper's flow-identifier derivation and
+// the batching path-length hints. Campaign.measureOne and Prober.MeasurePair
+// are thin shells over measurePair, so the two runtimes cannot drift apart
+// in probing methodology.
+
+// PathHints carries a destination's previous ladder lengths between pairs:
+// a batched trace sizes its first TTL window from the hint, so a stable
+// route is probed in exactly one batch with no overshoot. The zero value
+// means "no hint" (the tracer uses its default window).
+type PathHints struct {
+	Paris, Classic int
+}
+
+// ProbeConfig is the probing shape a Prober applies to every pair; the
+// fields mirror the campaign Config's probing subset and share its
+// defaults.
+type ProbeConfig struct {
+	// MinTTL skips the local network (the paper sets 2). Zero selects 2.
+	MinTTL int
+	// MaxTTL bounds traces (the paper: 39). Zero selects 39.
+	MaxTTL int
+	// MaxConsecutiveStars halts a trace (the paper: 8). Zero selects 8.
+	MaxConsecutiveStars int
+	// PortSeed derives the per-destination Paris flow identifiers and the
+	// classic tracer's per-(round, destination) pseudo-PID source port.
+	PortSeed int64
+	// Batch routes traces through the transport's batched TTL ladder when
+	// it offers one (tracer.BatchTransport); the Prober then owns one
+	// reusable tracer.Scratch.
+	Batch bool
+	// BatchWindow overrides the TTL window per batch (0: tracer default).
+	BatchWindow int
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.MinTTL <= 0 {
+		c.MinTTL = 2
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 39
+	}
+	if c.MaxConsecutiveStars <= 0 {
+		c.MaxConsecutiveStars = 8
+	}
+	return c
+}
+
+// Prober measures paired traces one destination at a time. It is not safe
+// for concurrent use (the scratch buffers are reused across calls): give
+// each worker goroutine its own Prober, exactly like the campaign gives
+// each worker its own tracer.Scratch.
+type Prober struct {
+	tp      tracer.Transport
+	base    tracer.Options
+	seed    int64
+	scratch *tracer.Scratch
+}
+
+// NewProber builds a Prober over tp with the given probing shape.
+func NewProber(tp tracer.Transport, cfg ProbeConfig) *Prober {
+	cfg = cfg.withDefaults()
+	p := &Prober{tp: tp, seed: cfg.PortSeed, base: tracer.Options{
+		MinTTL:              cfg.MinTTL,
+		MaxTTL:              cfg.MaxTTL,
+		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
+	}}
+	if cfg.Batch {
+		p.base.Batch = true
+		p.base.BatchWindow = cfg.BatchWindow
+		p.scratch = tracer.NewScratch()
+	}
+	return p
+}
+
+// MeasurePair performs the paper's two traces toward dest, attributed to
+// the given round. h, when non-nil, supplies the destination's previous
+// ladder lengths and receives the new ones; pass the same PathHints for
+// the same destination across calls to keep the batched first window
+// tight.
+func (p *Prober) MeasurePair(dest netip.Addr, round int, h *PathHints) (Pair, error) {
+	var hints PathHints
+	if h != nil {
+		hints = *h
+	}
+	pair, newHints, err := measurePair(p.tp, p.base, p.scratch, p.seed,
+		dest, round,
+		portFor(p.seed, dest, 0x517e), portFor(p.seed, dest, 0xd057),
+		hints)
+	if err != nil {
+		return Pair{}, err
+	}
+	if h != nil {
+		*h = newHints
+	}
+	return pair, nil
+}
+
+// measurePair is the shared core: a Paris traceroute with an unchanging
+// five-tuple, then a classic traceroute with the same timing parameters,
+// taken close together in time to minimise routing-dynamics skew
+// (Section 4.1.2). Returned hints are the measured ladder lengths (valid
+// only on success).
+func measurePair(tp tracer.Transport, base tracer.Options, scratch *tracer.Scratch, seed int64, d netip.Addr, round int, parisSrc, parisDst uint16, hints PathHints) (Pair, PathHints, error) {
+	parisOpts := base
+	parisOpts.SrcPort = parisSrc
+	parisOpts.DstPort = parisDst
+	if base.Batch {
+		parisOpts.Scratch = scratch
+		parisOpts.PathHint = hints.Paris
+	}
+	paris := tracer.NewParisUDP(tp, parisOpts)
+	pr, err := paris.Trace(d)
+	if err != nil {
+		return Pair{}, hints, fmt.Errorf("measure: paris trace to %v: %w", d, err)
+	}
+
+	// Classic traceroute sets its Source Port to PID + 32768; every
+	// invocation is a fresh process, so the port — part of the flow
+	// identifier — changes per trace. Emulate with a per-(round, dest)
+	// pseudo-PID.
+	classicOpts := base
+	classicOpts.SrcPort = 32768 + uint16(portFor(seed, d, uint64(round)*0x9e37+0xc1a5)%30000)
+	if base.Batch {
+		classicOpts.Scratch = scratch
+		classicOpts.PathHint = hints.Classic
+	}
+	classic := tracer.NewClassicUDP(tp, classicOpts)
+	cr, err := classic.Trace(d)
+	if err != nil {
+		return Pair{}, hints, fmt.Errorf("measure: classic trace to %v: %w", d, err)
+	}
+	return Pair{Dest: d, Round: round, Paris: pr, Classic: cr},
+		PathHints{Paris: len(pr.Hops), Classic: len(cr.Hops)}, nil
+}

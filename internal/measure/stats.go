@@ -81,6 +81,27 @@ type RobustStats struct {
 	// pair — derivable purely from the folded pairs, so streaming and
 	// materialize-then-Analyze agree byte for byte.
 	QuarantinedDests int
+
+	// The remaining fields are the always-on daemon's degraded-mode
+	// accounting (internal/daemon); they stay zero on batch campaigns.
+	// Merge does not sum them — the daemon stamps them onto each served
+	// snapshot from its own supervision counters, which live outside the
+	// accumulators (a shed job was never measured, so there is no pair
+	// to fold).
+
+	// Shed counts jobs dropped at scheduler admission by the shed-oldest
+	// overload policy (the destination is re-armed, never lost).
+	Shed int `json:",omitempty"`
+	// WorkerRestarts counts supervised worker replacements after a
+	// panic (restart-with-backoff; see the daemon's state machine).
+	WorkerRestarts int `json:",omitempty"`
+	// WatchdogStalls counts traces the watchdog declared stalled and
+	// abandoned (the wedged worker is replaced, its late result
+	// discarded).
+	WatchdogStalls int `json:",omitempty"`
+	// DeadWorkers counts workers that exhausted their restart budget;
+	// nonzero means the daemon is running degraded.
+	DeadWorkers int `json:",omitempty"`
 }
 
 // RTTStats aggregates per-hop round-trip times across every measured

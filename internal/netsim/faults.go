@@ -53,6 +53,27 @@ type FaultPlan struct {
 	DropEvery int
 	DropStart int
 	DropLen   int
+
+	// PanicEvery, when > 0, gives roughly every k-th destination a panic
+	// window: exchanges whose per-destination ordinal falls in
+	// [PanicStart, PanicStart+PanicLen) panic instead of forwarding —
+	// the hermetic stand-in for a probing bug taking a whole worker
+	// goroutine down, which is what the daemon's supervised restart
+	// machinery exists for.
+	PanicEvery int
+	PanicStart int
+	PanicLen   int
+
+	// StallEvery, when > 0, gives roughly every k-th destination a stall
+	// window: exchanges whose per-destination ordinal falls in
+	// [StallStart, StallStart+StallLen) block until ReleaseStalls is
+	// called, then resolve as silent drops (stars). This models a wedged
+	// transport — the failure the daemon's watchdog detects and abandons
+	// — without a single sleep: the blocked goroutine parks on a channel
+	// the test closes when it wants the wedge to clear.
+	StallEvery int
+	StallStart int
+	StallLen   int
 }
 
 // DestSchedule is one destination's resolved fault schedule.
@@ -63,10 +84,16 @@ type DestSchedule struct {
 	BlackholeStart               int
 	Drop                         bool
 	DropStart, DropLen           int
+	Panic                        bool
+	PanicStart, PanicLen         int
+	Stall                        bool
+	StallStart, StallLen         int
 }
 
 // Faulty reports whether the schedule afflicts the destination at all.
-func (s DestSchedule) Faulty() bool { return s.Transient || s.Blackhole || s.Drop }
+func (s DestSchedule) Faulty() bool {
+	return s.Transient || s.Blackhole || s.Drop || s.Panic || s.Stall
+}
 
 // ScheduleFor resolves the plan for one destination. It is a pure function
 // of (Seed, dst), so tests derive expected failure counts from the same
@@ -92,6 +119,16 @@ func (p FaultPlan) ScheduleFor(dst netip.Addr) DestSchedule {
 		s.Drop = true
 		s.DropStart, s.DropLen = p.DropStart, p.DropLen
 	}
+	h = splitmix64(h)
+	if p.PanicEvery > 0 && h%uint64(p.PanicEvery) == 0 {
+		s.Panic = true
+		s.PanicStart, s.PanicLen = p.PanicStart, p.PanicLen
+	}
+	h = splitmix64(h)
+	if p.StallEvery > 0 && h%uint64(p.StallEvery) == 0 {
+		s.Stall = true
+		s.StallStart, s.StallLen = p.StallStart, p.StallLen
+	}
 	return s
 }
 
@@ -99,9 +136,11 @@ func (p FaultPlan) ScheduleFor(dst netip.Addr) DestSchedule {
 type faultKind int
 
 const (
-	faultNone faultKind = iota
-	faultErr            // transient error: the exchange did not happen
-	faultStar           // silent drop: the exchange happened, no response
+	faultNone  faultKind = iota
+	faultErr             // transient error: the exchange did not happen
+	faultStar            // silent drop: the exchange happened, no response
+	faultPanic           // injected panic: takes the probing goroutine down
+	faultStall           // wedge: block until ReleaseStalls, then a star
 )
 
 // destFaults is the per-destination runtime state: the resolved schedule and
@@ -126,13 +165,21 @@ type FaultTransport struct {
 
 	mu    sync.Mutex
 	dests map[uint32]*destFaults
-	// errs and drops tally the injected faults, for test assertions.
-	errs, drops int
+	// errs, drops, panics, and stalls tally the injected faults, for
+	// test assertions.
+	errs, drops, panics, stalls int
+	// stallC parks stalled exchanges; ReleaseStalls closes it (once).
+	stallC    chan struct{}
+	stallOnce sync.Once
 }
 
 // WrapFaults afflicts tp with the plan's fault schedules.
 func WrapFaults(tp tracer.Transport, plan FaultPlan) *FaultTransport {
-	return &FaultTransport{inner: tp, plan: plan, dests: make(map[uint32]*destFaults)}
+	return &FaultTransport{
+		inner: tp, plan: plan,
+		dests:  make(map[uint32]*destFaults),
+		stallC: make(chan struct{}),
+	}
 }
 
 // InjectedErrors returns how many exchanges failed with an injected
@@ -148,6 +195,34 @@ func (t *FaultTransport) InjectedDrops() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.drops
+}
+
+// InjectedPanics returns how many exchanges panicked so far.
+func (t *FaultTransport) InjectedPanics() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.panics
+}
+
+// InjectedStalls returns how many exchanges were wedged so far (released
+// or still parked).
+func (t *FaultTransport) InjectedStalls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stalls
+}
+
+// ReleaseStalls unwedges every parked exchange, now and forever: stalled
+// exchanges resolve as silent drops (stars), and future stall-window hits
+// fall straight through as drops. Safe to call more than once.
+func (t *FaultTransport) ReleaseStalls() {
+	t.stallOnce.Do(func() { close(t.stallC) })
+}
+
+// stall parks the calling goroutine until ReleaseStalls. It is called
+// outside t.mu — a wedged exchange must never wedge the ordinal counters.
+func (t *FaultTransport) stall() {
+	<-t.stallC
 }
 
 // decide consumes one exchange ordinal for the probe's destination and
@@ -172,6 +247,12 @@ func (t *FaultTransport) decide(probe []byte) faultKind {
 	df.ordinal++
 	s := df.sched
 	switch {
+	case s.Panic && ord >= s.PanicStart && ord < s.PanicStart+s.PanicLen:
+		t.panics++
+		return faultPanic
+	case s.Stall && ord >= s.StallStart && ord < s.StallStart+s.StallLen:
+		t.stalls++
+		return faultStall
 	case s.Blackhole && ord >= s.BlackholeStart:
 		t.errs++
 		return faultErr
@@ -183,6 +264,11 @@ func (t *FaultTransport) decide(probe []byte) faultKind {
 		return faultStar
 	}
 	return faultNone
+}
+
+// panicFor raises the injected panic for a probe's destination.
+func panicFor(probe []byte) {
+	panic(fmt.Sprintf("netsim: injected panic toward %v", netip.AddrFrom4([4]byte(probe[16:20]))))
 }
 
 // errFor builds the injected error for a probe's destination.
@@ -208,6 +294,11 @@ func (t *FaultTransport) ExchangeErr(probe []byte) ([]byte, time.Duration, bool,
 		return nil, 0, false, errFor(probe)
 	case faultStar:
 		return nil, 0, false, nil
+	case faultPanic:
+		panicFor(probe)
+	case faultStall:
+		t.stall()
+		return nil, 0, false, nil
 	}
 	resp, rtt, ok := t.inner.Exchange(probe)
 	return resp, rtt, ok, nil
@@ -226,7 +317,17 @@ func (t *FaultTransport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult
 	idxs := make([]int, 0, len(probes))
 	for i, p := range probes {
 		kinds[i] = t.decide(p)
-		if kinds[i] == faultNone {
+		switch kinds[i] {
+		case faultPanic:
+			// Panic at the probe's position, before later probes consume
+			// ordinals — the same point the sequential path panics at.
+			panicFor(p)
+		case faultStall:
+			// Wedge here, like the sequential path; once released the
+			// probe resolves as a silent drop.
+			t.stall()
+			kinds[i] = faultStar
+		case faultNone:
 			pass = append(pass, p)
 			idxs = append(idxs, i)
 		}

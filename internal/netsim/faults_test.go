@@ -253,3 +253,103 @@ func TestFaultBatchStaleSlotReset(t *testing.T) {
 		t.Fatalf("clean slot not reset after reuse: %+v", out[0])
 	}
 }
+
+func TestFaultPanicWindow(t *testing.T) {
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 7})
+	inner := &stubTransport{}
+	ft := WrapFaults(inner, FaultPlan{Seed: 1, PanicEvery: 1, PanicStart: 1, PanicLen: 2})
+	probe := probeFor(dst)
+
+	// Ordinal 0: clean.
+	if _, _, _, err := ft.ExchangeErr(probe); err != nil {
+		t.Fatalf("ordinal 0: %v", err)
+	}
+	// Ordinals 1 and 2: the window panics, consuming the ordinal first.
+	for ord := 1; ord <= 2; ord++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ordinal %d did not panic", ord)
+				}
+			}()
+			ft.ExchangeErr(probe)
+		}()
+	}
+	if ft.InjectedPanics() != 2 {
+		t.Fatalf("injected panics %d, want 2", ft.InjectedPanics())
+	}
+	// Ordinal 3: past the window, clean again.
+	if _, _, ok := ft.Exchange(probe); !ok {
+		t.Fatal("ordinal 3 should pass through")
+	}
+	if len(inner.seen) != 2 {
+		t.Fatalf("inner saw %d probes, want 2 (ordinals 0 and 3)", len(inner.seen))
+	}
+}
+
+func TestFaultBatchPanicAtPosition(t *testing.T) {
+	// A panic inside a batch must fire at the afflicted probe's position,
+	// before later probes consume ordinals — identical to the sequential
+	// path, so batch and per-probe campaigns agree on fault accounting.
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 7})
+	inner := &stubBatchTransport{}
+	ft := WrapFaults(inner, FaultPlan{Seed: 1, PanicEvery: 1, PanicStart: 1, PanicLen: 1})
+	probes := [][]byte{probeFor(dst), probeFor(dst), probeFor(dst)}
+	out := make([]tracer.ProbeResult, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("batch did not panic")
+			}
+		}()
+		ft.ExchangeBatch(probes, out)
+	}()
+	// Ordinals consumed: 0 (clean) and 1 (panic); probe 3 never decided.
+	if got := ft.InjectedPanics(); got != 1 {
+		t.Fatalf("injected panics %d, want 1", got)
+	}
+	if _, _, _, err := ft.ExchangeErr(probeFor(dst)); err != nil {
+		t.Fatalf("ordinal 2 after the window should be clean: %v", err)
+	}
+}
+
+func TestFaultStallParksUntilRelease(t *testing.T) {
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 7})
+	inner := &stubTransport{}
+	ft := WrapFaults(inner, FaultPlan{Seed: 1, StallEvery: 1, StallStart: 0, StallLen: 1})
+	probe := probeFor(dst)
+
+	type result struct {
+		ok  bool
+		err error
+	}
+	got := make(chan result)
+	go func() {
+		_, _, ok, err := ft.ExchangeErr(probe)
+		got <- result{ok, err}
+	}()
+	// The exchange is parked: the ordinal is consumed (the stall counter
+	// ticks) but no result arrives until release.
+	for ft.InjectedStalls() == 0 {
+		// Busy-wait on the counter; the parked goroutine is off-mutex.
+	}
+	select {
+	case r := <-got:
+		t.Fatalf("stalled exchange returned early: %+v", r)
+	default:
+	}
+	ft.ReleaseStalls()
+	r := <-got
+	if r.err != nil || r.ok {
+		t.Fatalf("released stall should resolve as a star: %+v", r)
+	}
+	// After release, later stall-window hits fall straight through as
+	// drops, and ReleaseStalls is idempotent.
+	ft.ReleaseStalls()
+	if _, _, ok, err := ft.ExchangeErr(probe); err != nil || !ok {
+		t.Fatalf("ordinal 1 outside the window should pass: ok=%v err=%v", ok, err)
+	}
+	if len(inner.seen) != 1 {
+		t.Fatalf("inner saw %d probes, want 1", len(inner.seen))
+	}
+}
