@@ -11,16 +11,24 @@
 //	              [-delay S] [-load L] [-churn C] [-dynamics-seed N]
 //	anomaly-study -checkpoint ck.json [-checkpoint-every N] [-resume] [-halt-after N]
 //	              [-fail-fast] [-stats-json out.json]
-//	anomaly-study -live -live-dests A.B.C.D[,...] [-rounds N] [-workers N] [-batch]
-//	              [-stream] [-timeout D] [-retries N] [-retry-backoff D]
+//	anomaly-study -live {-live-dests A.B.C.D[,...] | -live-dests-file FILE}
+//	              [-rounds N] [-workers N] [-batch] [-stream]
+//	              [-timeout D] [-timeout-floor D] [-retries N]
 //
-// -live swaps the simulator for the raw-socket transport
-// (internal/tracer/live) and runs the identical paired-trace campaign
-// against the real destinations in -live-dests; raw sockets need root or
-// CAP_NET_RAW, and the tool exits with an explanation when they are
-// unavailable. -timeout, -retries, and -retry-backoff tune the live
-// transport's per-probe deadline, re-send budget, and jittered backoff
-// between re-sends.
+// -live swaps the simulator for the raw-socket layer (internal/tracer/
+// live) and runs the identical paired-trace campaign against the real
+// destinations in -live-dests or -live-dests-file (one destination per
+// line, '#' comments and blank lines skipped, duplicates rejected); raw
+// sockets need root or CAP_NET_RAW, and the tool exits with an explanation
+// when they are unavailable. All workers share one mux — a single raw
+// socket pair demultiplexes every worker's probes by quoted flow
+// identifier — and per-destination RFC 6298 RTT estimators adapt each
+// probe's deadline between -timeout-floor and -timeout. -retries is the
+// re-send budget per unanswered probe; re-sends are spaced by the
+// destination's adaptive, exponentially backed-off RTO (the historical
+// -retry-backoff flag is accepted but ignored). The report's robustness
+// section carries the mux health counters (reopens, kernel drops,
+// degradation level, RTO spread).
 //
 // -delay, -load, and -churn switch on the simulator's virtual-clock
 // dynamics (netsim.Dynamics): seeded per-link propagation/bandwidth/
@@ -79,6 +87,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/topo"
+	"repro/internal/tracer"
 	"repro/internal/tracer/live"
 )
 
@@ -95,9 +104,11 @@ func main() {
 	truth := flag.Bool("truth", false, "print generator ground truth")
 	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
 	liveDests := flag.String("live-dests", "", "comma-separated IPv4 destinations for -live")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	liveDestsFile := flag.String("live-dests-file", "", "file of IPv4 destinations for -live, one per line ('#' comments)")
+	timeout := flag.Duration("timeout", 2*time.Second, "adaptive live-probe timeout cap (and the timeout before a destination has RTT samples)")
+	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive live-probe timeout floor")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
-	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate)")
+	_ = flag.Duration("retry-backoff", 0, "ignored: live re-sends are spaced by the per-destination adaptive RTO")
 	failFast := flag.Bool("fail-fast", false, "abort the campaign on the first trace error instead of retrying and quarantining")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for resumable campaigns (requires -stream)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "write the checkpoint every N completed rounds")
@@ -141,8 +152,8 @@ func main() {
 	}
 
 	if *liveMode {
-		if err := runLive(ctx, *liveDests, *rounds, *workers, *batch, *stream, *foldEvery, *seed,
-			*timeout, *retries, *retryBackoff, *failFast, *checkpoint, *checkpointEvery); err != nil {
+		if err := runLive(ctx, *liveDests, *liveDestsFile, *rounds, *workers, *batch, *stream, *foldEvery, *seed,
+			*timeout, *timeoutFloor, *retries, *failFast, *checkpoint, *checkpointEvery); err != nil {
 			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 			os.Exit(2)
 		}
@@ -309,39 +320,38 @@ func writeStatsJSON(path string, stats *measure.Stats) error {
 }
 
 // runLive runs the same paired-trace campaign against the real network over
-// the raw-socket transport. It fails with a clear explanation when raw
-// sockets are unavailable (root or CAP_NET_RAW required) so the study never
-// half-runs without privileges. The context cancels both the campaign loop
-// and the transport's in-flight deadline wheel, so an interrupt drains
+// one shared raw-socket mux: every worker holds its own Transport handle
+// onto a single ICMP+TCP receive pair, and responses are attributed across
+// workers by quoted flow identifier. It fails with a clear explanation when
+// raw sockets are unavailable (root or CAP_NET_RAW required) so the study
+// never half-runs without privileges. The context cancels both the campaign
+// loop and the mux's in-flight deadline wheel, so an interrupt drains
 // within one probe timeout; with -checkpoint set an interrupted live study
 // resumes its round cursor and quarantine state (live responses themselves
 // are not replayable, so resumed statistics are not byte-stable).
-func runLive(ctx context.Context, destList string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout time.Duration, retries int, retryBackoff time.Duration, failFast bool, checkpoint string, checkpointEvery int) error {
-	if destList == "" {
-		return fmt.Errorf("-live requires -live-dests A.B.C.D[,A.B.C.D...]")
-	}
-	var dsts []netip.Addr
-	for _, s := range strings.Split(destList, ",") {
-		d, err := netip.ParseAddr(strings.TrimSpace(s))
-		if err != nil || !d.Is4() {
-			return fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
-		}
-		dsts = append(dsts, d)
+func runLive(ctx context.Context, destList, destsFile string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout, timeoutFloor time.Duration, retries int, failFast bool, checkpoint string, checkpointEvery int) error {
+	dsts, err := liveDestinations(destList, destsFile)
+	if err != nil {
+		return err
 	}
 	src, err := live.LocalIPv4()
 	if err != nil {
 		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{
-		Source: src, Timeout: timeout, Retries: retries,
-		RetryBackoff: retryBackoff, Context: ctx,
+	m, err := live.NewMux(live.MuxConfig{
+		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
+		Retries: retries, Context: ctx,
+		OnPressure: func(h tracer.MuxHealth) {
+			fmt.Fprintf(os.Stderr, "anomaly-study: receive pressure: degrade=%d kernel-drops=%d events=%d\n",
+				h.DegradeShift, h.KernelDrops, h.PressureEvents)
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("live probing unavailable: %w", err)
 	}
-	defer tp.Close()
+	defer m.Close()
 
-	camp, err := measure.NewCampaign(tp, measure.Config{
+	camp, err := measure.NewCampaign(nil, measure.Config{
 		Dests:           dsts,
 		Rounds:          rounds,
 		Workers:         workers,
@@ -353,6 +363,9 @@ func runLive(ctx context.Context, destList string, rounds, workers int, batch, s
 		FailFast:        failFast,
 		CheckpointPath:  checkpoint,
 		CheckpointEvery: checkpointEvery,
+		// One Transport handle per worker, all onto the shared mux: the
+		// whole campaign runs over a single raw socket pair.
+		TransportFor: func(int) tracer.Transport { return m.Transport() },
 	})
 	if err != nil {
 		return err
@@ -368,6 +381,37 @@ func runLive(ctx context.Context, destList string, rounds, workers int, batch, s
 	if stats == nil {
 		stats = measure.Analyze(res)
 	}
+	h := m.Health()
+	stats.Robust.Mux = &h
 	measure.WriteReport(os.Stdout, stats, nil)
 	return nil
+}
+
+// liveDestinations resolves the live destination list from whichever flag
+// was given: the inline comma-separated list or the one-per-line file
+// (live.ReadDestsFile's format: '#' comments, blank lines skipped,
+// duplicates rejected). Exactly one source must be set.
+func liveDestinations(destList, destsFile string) ([]netip.Addr, error) {
+	switch {
+	case destsFile != "" && destList != "":
+		return nil, fmt.Errorf("-live-dests and -live-dests-file are mutually exclusive")
+	case destsFile != "":
+		return live.ReadDestsFile(destsFile)
+	case destList == "":
+		return nil, fmt.Errorf("-live requires -live-dests A.B.C.D[,...] or -live-dests-file FILE")
+	}
+	var dsts []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	for _, s := range strings.Split(destList, ",") {
+		d, err := netip.ParseAddr(strings.TrimSpace(s))
+		if err != nil || !d.Is4() {
+			return nil, fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("-live-dests lists %v twice", d)
+		}
+		seen[d] = true
+		dsts = append(dsts, d)
+	}
+	return dsts, nil
 }

@@ -16,12 +16,19 @@
 //	         [-dynamics-seed N] [-flips] [-batch]
 //	         [-fault-seed N] [-fault-transient-every K] [-fault-drop-every K]
 //	         [-fault-panic-every K]
-//	measured -live -live-dests A.B.C.D[,...] [-timeout D] [-retries N]
+//	measured -live {-live-dests A.B.C.D[,...] | -live-dests-file FILE}
+//	         [-timeout D] [-timeout-floor D] [-retries N]
 //
 // The default transport is the deterministic simulator over a generated
-// topology; -live swaps in the raw-socket transport (root or CAP_NET_RAW).
+// topology; -live swaps in the shared raw-socket mux (root or CAP_NET_RAW):
+// one ICMP+TCP receive pair serves every daemon worker, per-destination
+// RFC 6298 RTT estimators adapt probe deadlines between -timeout-floor and
+// -timeout, and the mux health counters (reopens, kernel drops, degradation
+// level, RTO spread) are served in /stats under Robust.Mux.
 // -rate installs a token-bucket pacer over whichever transport is selected,
-// capping the process's aggregate probe rate. The -fault-* flags afflict
+// capping the process's aggregate probe rate; under live receive pressure
+// the mux halves that rate per degradation level and restores it as the
+// pressure clears. The -fault-* flags afflict
 // the simulator with seeded transient-error, response-drop, and injected-
 // panic schedules — the hermetic soak configuration CI exercises the
 // supervision machinery with.
@@ -82,7 +89,9 @@ func main() {
 	faultPanic := flag.Int("fault-panic-every", 0, "afflict ~every k-th destination with an injected-panic window")
 	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
 	liveDests := flag.String("live-dests", "", "comma-separated IPv4 destinations for -live")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	liveDestsFile := flag.String("live-dests-file", "", "file of IPv4 destinations for -live, one per line ('#' comments)")
+	timeout := flag.Duration("timeout", 2*time.Second, "adaptive live-probe timeout cap (and the timeout before a destination has RTT samples)")
+	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive live-probe timeout floor")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
 	flag.Parse()
 
@@ -112,17 +121,23 @@ func main() {
 		Probe:             measure.ProbeConfig{PortSeed: *seed, Batch: *batch},
 	}
 
+	var pacer *tracer.Pacer
+	if *rate > 0 {
+		pacer = tracer.NewPacer(*rate, float64(*burst), nil, nil)
+	}
+
 	var asNames *asmap.Table
 	if *liveMode {
-		ds, tp, err := liveTransport(ctx, *liveDests, *timeout, *retries)
+		ds, m, err := liveMux(ctx, *liveDests, *liveDestsFile, *timeout, *timeoutFloor, *retries, pacer, *rate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "measured:", err)
 			os.Exit(2)
 		}
-		defer tp.Close()
+		defer m.Close()
 		cfg.Dests = ds
-		cfg.Transport = tp
+		cfg.Transport = m.Transport()
 		cfg.Probe.MinTTL = 1
+		cfg.MuxHealth = m.Health
 	} else {
 		gc := topo.DefaultGenConfig()
 		gc.Seed = *seed
@@ -151,9 +166,8 @@ func main() {
 		cfg.TransportState = probeCounters(sc.Nets)
 		cfg.RestoreTransport = restoreProbeCounters(sc.Nets)
 	}
-	if *rate > 0 {
-		cfg.Transport = tracer.NewPacedTransport(cfg.Transport,
-			tracer.NewPacer(*rate, float64(*burst), nil, nil))
+	if pacer != nil {
+		cfg.Transport = tracer.NewPacedTransport(cfg.Transport, pacer)
 	}
 
 	d, err := daemon.New(cfg)
@@ -254,27 +268,62 @@ func restoreProbeCounters(nets []*netsim.Network) func(json.RawMessage) error {
 	}
 }
 
-// liveTransport parses -live-dests and opens the raw-socket transport,
-// failing with a clear explanation when raw sockets are unavailable.
-func liveTransport(ctx context.Context, destList string, timeout time.Duration, retries int) ([]netip.Addr, *live.Transport, error) {
-	if destList == "" {
-		return nil, nil, fmt.Errorf("-live requires -live-dests A.B.C.D[,A.B.C.D...]")
-	}
-	var ds []netip.Addr
-	for _, s := range strings.Split(destList, ",") {
-		d, err := netip.ParseAddr(strings.TrimSpace(s))
-		if err != nil || !d.Is4() {
-			return nil, nil, fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
-		}
-		ds = append(ds, d)
+// liveMux parses the live destination flags and opens the shared raw-socket
+// mux every daemon worker's probes are multiplexed over, failing with a
+// clear explanation when raw sockets are unavailable. When a pacer is
+// installed the mux's pressure callback halves the aggregate probe rate per
+// degradation level and restores it as clean read turns accumulate.
+func liveMux(ctx context.Context, destList, destsFile string, timeout, timeoutFloor time.Duration, retries int, pacer *tracer.Pacer, rate float64) ([]netip.Addr, *live.Mux, error) {
+	ds, err := liveDestinations(destList, destsFile)
+	if err != nil {
+		return nil, nil, err
 	}
 	src, err := live.LocalIPv4()
 	if err != nil {
 		return nil, nil, fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, Context: ctx})
+	m, err := live.NewMux(live.MuxConfig{
+		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
+		Retries: retries, Context: ctx,
+		OnPressure: func(h tracer.MuxHealth) {
+			if pacer != nil {
+				pacer.SetRate(rate / float64(uint64(1)<<h.DegradeShift))
+			}
+			fmt.Fprintf(os.Stderr, "measured: receive pressure: degrade=%d kernel-drops=%d events=%d\n",
+				h.DegradeShift, h.KernelDrops, h.PressureEvents)
+		},
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("live probing unavailable: %w", err)
 	}
-	return ds, tp, nil
+	return ds, m, nil
+}
+
+// liveDestinations resolves the live destination list from whichever flag
+// was given: the inline comma-separated list or the one-per-line file
+// (live.ReadDestsFile's format: '#' comments, blank lines skipped,
+// duplicates rejected). Exactly one source must be set.
+func liveDestinations(destList, destsFile string) ([]netip.Addr, error) {
+	switch {
+	case destsFile != "" && destList != "":
+		return nil, fmt.Errorf("-live-dests and -live-dests-file are mutually exclusive")
+	case destsFile != "":
+		return live.ReadDestsFile(destsFile)
+	case destList == "":
+		return nil, fmt.Errorf("-live requires -live-dests A.B.C.D[,...] or -live-dests-file FILE")
+	}
+	var ds []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	for _, s := range strings.Split(destList, ",") {
+		d, err := netip.ParseAddr(strings.TrimSpace(s))
+		if err != nil || !d.Is4() {
+			return nil, fmt.Errorf("-live-dests entry %q is not an IPv4 address", s)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("-live-dests lists %v twice", d)
+		}
+		seen[d] = true
+		ds = append(ds, d)
+	}
+	return ds, nil
 }

@@ -8,6 +8,8 @@
 //	paris-traceroute [-scenario fig3] [-method paris-udp] [-flows N] [-shards N] [-batch] [-seed N]
 //	paris-traceroute -live -dest A.B.C.D [-method paris-udp] [-batch]
 //	                 [-timeout 2s] [-retries 1] [-retry-backoff 0]
+//	paris-traceroute -live -live-dests-file FILE [-method paris-udp] [-batch]
+//	                 [-timeout 2s] [-timeout-floor 100ms] [-retries 1]
 //
 // Scenarios: fig1, fig3, fig4, fig5, fig6, random. -seed seeds the random
 // scenario's generator. With -shards N > 1 the random scenario is
@@ -27,6 +29,14 @@
 // exponentially growing, seeded-jitter backoff when -retry-backoff is
 // nonzero (the same policy anomaly-study uses), and a probe that exhausts
 // its attempts resolves as a star.
+//
+// -live-dests-file traces every destination listed in the file (one IPv4
+// address per line, '#' comments and blank lines skipped, duplicates
+// rejected) through one shared raw-socket mux: a single ICMP+TCP receive
+// pair demultiplexes all the traces' responses by quoted flow identifier,
+// and per-destination RFC 6298 RTT estimators adapt each probe's deadline
+// between -timeout-floor and -timeout. A mux health summary line (reopens,
+// kernel drops, pressure events) closes the output.
 //
 // With -flows N > 1, the tool runs the paper's future-work multipath
 // enumeration: one Paris trace per flow, reporting every interface of each
@@ -58,11 +68,31 @@ func main() {
 	batch := flag.Bool("batch", false, "submit the TTL ladder as batched exchanges")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	liveMode := flag.Bool("live", false, "probe the real network over raw sockets instead of the simulator")
-	liveDest := flag.String("dest", "", "live destination IPv4 address (required with -live)")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing")
+	liveDest := flag.String("dest", "", "live destination IPv4 address (required with -live unless -live-dests-file)")
+	liveDestsFile := flag.String("live-dests-file", "", "file of live IPv4 destinations, one per line ('#' comments); traces all through one shared mux")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout for live probing (the adaptive cap with -live-dests-file)")
+	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive timeout floor for -live-dests-file probing")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
-	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate; -live-dests-file paces by adaptive RTO instead)")
 	flag.Parse()
+
+	if *liveMode && *liveDestsFile != "" {
+		if *liveDest != "" {
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -dest and -live-dests-file are mutually exclusive")
+			os.Exit(2)
+		}
+		if *flows > 1 {
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -flows > 1 is not supported with -live-dests-file")
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runLiveMulti(ctx, *liveDestsFile, *method, *batch, *timeout, *timeoutFloor, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var (
 		tp   tracer.Transport
@@ -98,7 +128,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s to %s, %d hops max\n", tr.Name(), dest, 30)
+	printRoute(tr.Name(), dest, rt)
+}
+
+// printRoute renders one measured route in the classic traceroute style
+// extended with the Paris observables.
+func printRoute(name string, dest netip.Addr, rt *tracer.Route) {
+	fmt.Printf("%s to %s, %d hops max\n", name, dest, 30)
 	for _, h := range rt.Hops {
 		if h.Star() {
 			fmt.Printf("%2d  *\n", h.TTL)
@@ -113,6 +149,48 @@ func main() {
 			flagStr(h), extra)
 	}
 	fmt.Printf("halt: %v\n", rt.Halt)
+}
+
+// runLiveMulti traces every destination in the file through one shared
+// raw-socket mux and closes with the mux health summary.
+func runLiveMulti(ctx context.Context, path, method string, batch bool, timeout, timeoutFloor time.Duration, retries int) error {
+	dests, err := live.ReadDestsFile(path)
+	if err != nil {
+		return err
+	}
+	src, err := live.LocalIPv4()
+	if err != nil {
+		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
+	}
+	m, err := live.NewMux(live.MuxConfig{
+		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
+		Retries: retries, Context: ctx,
+	})
+	if err != nil {
+		return fmt.Errorf("live probing unavailable: %w", err)
+	}
+	defer m.Close()
+	tr, err := buildTracer(method, m.Transport(), batch)
+	if err != nil {
+		return err
+	}
+	for i, d := range dests {
+		rt, err := tr.Trace(d)
+		if err != nil {
+			return fmt.Errorf("trace %v: %w", d, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printRoute(tr.Name(), d, rt)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	h := m.Health()
+	fmt.Printf("\nmux: in-flight peak %d, reopens %d, pressure events %d, kernel drops %d, %d RTT estimator(s)\n",
+		h.InFlightPeak, h.Reopens, h.PressureEvents, h.KernelDrops, h.Destinations)
+	return nil
 }
 
 func flagStr(h tracer.Hop) string {

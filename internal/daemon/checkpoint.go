@@ -51,6 +51,7 @@ type DestState struct {
 	HintParis          int    `json:",omitempty"`
 	HintClassic        int    `json:",omitempty"`
 	Pairs              int64  `json:",omitempty"`
+	ShedStreak         int    `json:",omitempty"`
 }
 
 // configDigest hashes the daemon shape a checkpoint is only valid for: the
@@ -107,6 +108,7 @@ func (d *Daemon) checkpointLocked() *Checkpoint {
 			HintParis:   ds.hints.Paris,
 			HintClassic: ds.hints.Classic,
 			Pairs:       ds.pairs,
+			ShedStreak:  ds.shedStreak,
 		}
 	}
 	if d.cfg.TransportState != nil {
@@ -185,6 +187,7 @@ func (d *Daemon) recover(path string) error {
 		ds.quarantined = st.Quarantined
 		ds.hints = measure.PathHints{Paris: st.HintParis, Classic: st.HintClassic}
 		ds.pairs = st.Pairs
+		ds.shedStreak = st.ShedStreak
 	}
 	if d.cfg.RestoreTransport != nil && len(ck.Transport) > 0 {
 		if err := d.cfg.RestoreTransport(ck.Transport); err != nil {

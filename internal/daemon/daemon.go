@@ -34,9 +34,13 @@ type Config struct {
 	// Workers sizes the supervised pool. Zero selects 4.
 	Workers int
 	// QueueCap bounds the jobs admitted per round; due work beyond it is
-	// shed oldest-first and re-armed for the next round. Zero selects
-	// 8*Workers.
+	// shed by a seeded random-early lottery with aging (see shedScore) and
+	// re-armed for the next round, so persistent overload rotates the
+	// victims instead of starving a fixed set. Zero selects 8*Workers.
 	QueueCap int
+	// ShedSeed seeds the shedding lottery; rounds are deterministic per
+	// (ShedSeed, round). Zero is a valid seed.
+	ShedSeed int64
 
 	// MaxWorkerRestarts caps how many times one worker slot is restarted
 	// after panics; beyond it the slot stays dead. Zero selects 8.
@@ -76,6 +80,11 @@ type Config struct {
 	RestoreTransport func(json.RawMessage) error
 	// FreshStart ignores an existing checkpoint instead of recovering.
 	FreshStart bool
+
+	// MuxHealth, when the transport probes through a shared live socket
+	// mux, supplies its health snapshot; the daemon stamps it into every
+	// served /stats (Stats.Robust.Mux). Nil leaves the field absent.
+	MuxHealth func() tracer.MuxHealth
 
 	// EventBuffer sizes the /events replay ring. Zero selects 256.
 	EventBuffer int
@@ -256,11 +265,20 @@ func (d *Daemon) Tick() {
 	var shedList []*destSched
 	if len(runnable) > d.cfg.QueueCap {
 		n := len(runnable) - d.cfg.QueueCap
-		shedList = append(shedList, runnable[:n]...)
-		runnable = runnable[n:]
+		shedList = shedVictims(runnable, n, d.cfg.ShedSeed, round)
+		victim := make(map[*destSched]bool, n)
 		for _, ds := range shedList {
+			victim[ds] = true
+			ds.shedStreak++
 			ds.nextDue = round + 1
 		}
+		kept := runnable[:0]
+		for _, ds := range runnable {
+			if !victim[ds] {
+				kept = append(kept, ds)
+			}
+		}
+		runnable = kept
 		d.shed += int64(n)
 	}
 	poolDead := d.poolDead
@@ -273,6 +291,7 @@ func (d *Daemon) Tick() {
 			continue
 		}
 		ds.inFlight = true
+		ds.shedStreak = 0
 		jobs = append(jobs, &job{ds: ds, dest: ds.dest, round: round, hints: ds.hints, done: make(chan struct{})})
 	}
 	d.mu.Unlock()
@@ -409,6 +428,10 @@ func (d *Daemon) snapshotLocked() *measure.Stats {
 	s.Robust.WorkerRestarts = int(d.restarts)
 	s.Robust.WatchdogStalls = int(d.stalls)
 	s.Robust.DeadWorkers = d.deadWorkers
+	if d.cfg.MuxHealth != nil {
+		h := d.cfg.MuxHealth()
+		s.Robust.Mux = &h
+	}
 	return s
 }
 

@@ -132,14 +132,14 @@ func TestDaemonStatsMatchCampaign(t *testing.T) {
 	}
 }
 
-func TestDaemonShedOldest(t *testing.T) {
+func TestDaemonShedRearm(t *testing.T) {
 	sc := freeTopo(t, 10, 3, 0)
 	cfg := testConfig(sc)
 	cfg.QueueCap = 4
 	d := mustNew(t, cfg)
 	defer d.Stop()
 
-	// Round 0: 10 due, 6 shed (oldest first), 4 probed.
+	// Round 0: 10 due, 6 shed (lottery victims), 4 probed.
 	// Round 1: the 6 re-armed are due, 2 shed, 4 probed.
 	// Round 2: the 2 re-armed are due, probed. Steady state after.
 	tick(d, 3)
@@ -166,6 +166,52 @@ func TestDaemonShedOldest(t *testing.T) {
 	}
 	if shedEvents != 8 {
 		t.Fatalf("%d shed events, want 8", shedEvents)
+	}
+}
+
+// shedPairs runs one daemon under persistent overload and returns each
+// destination's completed pair count.
+func shedPairs(t *testing.T, seed int64, rounds int) []int64 {
+	t.Helper()
+	sc := freeTopo(t, 10, 3, 0)
+	cfg := testConfig(sc)
+	cfg.Period = 1 // all 10 due every round
+	cfg.QueueCap = 2
+	cfg.ShedSeed = seed
+	d := mustNew(t, cfg)
+	defer d.Stop()
+	tick(d, rounds)
+	pairs := make([]int64, len(sc.Dests))
+	d.mu.Lock()
+	for i, ds := range d.sched.dests {
+		pairs[i] = ds.pairs
+	}
+	d.mu.Unlock()
+	return pairs
+}
+
+// TestDaemonShedFairness holds the daemon under permanent overload —
+// every destination due every round, a queue admitting a fifth of them —
+// and requires the shedding lottery's aging to keep every destination
+// measuring. The old shed-head policy starved whichever destinations
+// sorted first, forever; with random-early shed plus aging no destination
+// may go unmeasured, and the schedule is reproducible per seed.
+func TestDaemonShedFairness(t *testing.T) {
+	const rounds = 40
+	pairs := shedPairs(t, 99, rounds)
+	for i, p := range pairs {
+		if p == 0 {
+			t.Errorf("destination %d never measured a pair across %d overloaded rounds", i, rounds)
+		}
+	}
+	// Deterministic per (ShedSeed, round): an identical daemon over an
+	// identical topology repeats the exact dispatch schedule.
+	again := shedPairs(t, 99, rounds)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatalf("destination %d: %d pairs vs %d on identical seed — lottery not deterministic",
+				i, pairs[i], again[i])
+		}
 	}
 }
 

@@ -35,6 +35,12 @@ type destSched struct {
 	hints measure.PathHints
 	// pairs counts completed (OK) pairs, for observability.
 	pairs int64
+	// shedStreak counts consecutive rounds this destination was shed by
+	// admission without being dispatched in between; the victim-selection
+	// score decays exponentially in it, so a destination the lottery keeps
+	// hitting becomes rapidly un-sheddable (aging — no starvation under
+	// persistent overload). Dispatch resets it.
+	shedStreak int
 }
 
 // scheduler owns the per-destination cadence table.
@@ -68,5 +74,49 @@ func (s *scheduler) due(round int64) []*destSched {
 		}
 		return out[i].idx < out[j].idx
 	})
+	return out
+}
+
+// shedScore ranks one runnable destination as a shedding victim this round:
+// a deterministic per-(seed, round, idx) SplitMix64 draw — random-early
+// shed, so under persistent overload the victims rotate instead of always
+// being the head of the due ordering — downshifted 8 bits per round of
+// shed streak, so a destination shed k rounds running wins the next
+// lottery only against destinations 256^k times unluckier. Determinism per
+// (seed, round) keeps rounds reproducible and checkpoints exact.
+func shedScore(seed, round int64, ds *destSched) uint64 {
+	x := uint64(seed) ^ uint64(round)*0x9e3779b97f4a7c15 ^ uint64(uint32(ds.idx))<<1
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	shift := ds.shedStreak * 8
+	if shift > 56 {
+		shift = 56
+	}
+	return x >> shift
+}
+
+// shedVictims picks the n destinations to shed from runnable: the n
+// highest scores (ties broken by list index, for full determinism).
+func shedVictims(runnable []*destSched, n int, seed, round int64) []*destSched {
+	type cand struct {
+		ds    *destSched
+		score uint64
+	}
+	cands := make([]cand, len(runnable))
+	for i, ds := range runnable {
+		cands[i] = cand{ds, shedScore(seed, round, ds)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].ds.idx < cands[j].ds.idx
+	})
+	out := make([]*destSched, n)
+	for i := range out {
+		out[i] = cands[i].ds
+	}
 	return out
 }

@@ -110,6 +110,16 @@ type Config struct {
 	// interprets it: binaries use it to persist transport cursors (e.g.
 	// netsim probe counters) and restore them before resuming.
 	TransportState func() json.RawMessage
+
+	// TransportFor, when set, supplies per-worker transports: worker w
+	// probes every destination of its plan through TransportFor(w) instead
+	// of the shared campaign transport (a nil return falls back to the
+	// shared one). Live campaigns use it to give each worker its own
+	// handle on the shared socket mux, mirroring the paper's N independent
+	// probing processes over one receive path; each returned transport only
+	// ever sees one worker, so it need not be safe for concurrent use
+	// unless it is itself shared.
+	TransportFor func(worker int) tracer.Transport
 }
 
 // Defaults fills unset fields with the paper's values.
@@ -210,8 +220,11 @@ type Results struct {
 // the transport, which must therefore be safe for concurrent use —
 // netsim.Transport forwards exchanges in parallel.
 type Campaign struct {
-	cfg  Config
-	tp   tracer.Transport
+	cfg Config
+	tp  tracer.Transport
+	// tps[w] is worker w's resolved transport: TransportFor(w) when the
+	// seam is set and returns non-nil, the shared tp otherwise.
+	tps  []tracer.Transport
 	base tracer.Options // per-trace options before flow-identifier seeding
 	// plan[w] lists the destination indices worker w probes each round;
 	// computed once at construction (shard-affine when ShardOf is set).
@@ -273,6 +286,18 @@ func NewCampaign(tp tracer.Transport, cfg Config) (*Campaign, error) {
 		MaxTTL:              cfg.MaxTTL,
 		MaxConsecutiveStars: cfg.MaxConsecutiveStars,
 	}, plan: workerPlan(cfg)}
+	c.tps = make([]tracer.Transport, cfg.Workers)
+	for w := range c.tps {
+		c.tps[w] = tp
+		if cfg.TransportFor != nil {
+			if t := cfg.TransportFor(w); t != nil {
+				c.tps[w] = t
+			}
+		}
+		if c.tps[w] == nil {
+			return nil, fmt.Errorf("measure: no transport for worker %d (nil shared transport and no TransportFor override)", w)
+		}
+	}
 	c.parisSrc = make([]uint16, len(cfg.Dests))
 	c.parisDst = make([]uint16, len(cfg.Dests))
 	for i, d := range cfg.Dests {
@@ -603,7 +628,7 @@ func (c *Campaign) measureOne(w, round, idx int, d netip.Addr) (Pair, error) {
 		scratch = c.scratch[w]
 		hints = PathHints{Paris: c.parisHint[idx], Classic: c.clasHint[idx]}
 	}
-	p, newHints, err := measurePair(c.tp, c.base, scratch, c.cfg.PortSeed,
+	p, newHints, err := measurePair(c.tps[w], c.base, scratch, c.cfg.PortSeed,
 		d, round, c.parisSrc[idx], c.parisDst[idx], hints)
 	if err != nil {
 		return Pair{}, err

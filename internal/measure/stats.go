@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/anomaly"
+	"repro/internal/tracer"
 )
 
 // LoopStats aggregates Section 4.1.2.
@@ -102,6 +103,14 @@ type RobustStats struct {
 	// DeadWorkers counts workers that exhausted their restart budget;
 	// nonzero means the daemon is running degraded.
 	DeadWorkers int `json:",omitempty"`
+
+	// Mux, when the campaign probes through a shared live socket mux
+	// (internal/tracer/live.Mux), is the mux's health snapshot — in-flight
+	// probes, kernel drops, socket reopens, pressure events, adaptive-
+	// timeout spread. Like the daemon fields it is stamped by the binary
+	// that owns the mux, never merged: the counters live in the mux, not
+	// in the folded pairs. Nil on simulated and per-worker-socket runs.
+	Mux *tracer.MuxHealth `json:",omitempty"`
 }
 
 // RTTStats aggregates per-hop round-trip times across every measured

@@ -1,0 +1,74 @@
+package live
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDests(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dests.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadDestsFile(t *testing.T) {
+	path := writeDests(t, `# campaign targets
+192.0.2.1
+198.51.100.7   # a trailing comment
+
+   203.0.113.9
+`)
+	got, err := ReadDestsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []netip.Addr{
+		netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+		netip.AddrFrom4([4]byte{198, 51, 100, 7}),
+		netip.AddrFrom4([4]byte{203, 0, 113, 9}),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d destinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dest %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadDestsFileRejectsDuplicates(t *testing.T) {
+	path := writeDests(t, "192.0.2.1\n198.51.100.7\n192.0.2.1\n")
+	_, err := ReadDestsFile(path)
+	if err == nil {
+		t.Fatal("duplicate destination accepted")
+	}
+	// The error names both occurrences for a fixable diagnosis.
+	if msg := err.Error(); !strings.Contains(msg, ":3") || !strings.Contains(msg, "line 1") {
+		t.Errorf("duplicate error %q does not name both lines", msg)
+	}
+}
+
+func TestReadDestsFileRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name, content string
+	}{
+		{"not-an-address", "192.0.2.1\nnonsense\n"},
+		{"ipv6", "2001:db8::1\n"},
+		{"empty", "# only comments\n\n"},
+	} {
+		path := writeDests(t, tc.content)
+		if _, err := ReadDestsFile(path); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := ReadDestsFile(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

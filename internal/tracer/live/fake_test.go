@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -12,8 +13,12 @@ import (
 // pathologies a real network adds on top — reordering, duplication, loss,
 // and late arrival. ReadBatch returns ErrTimeout the moment nothing is
 // deliverable, which fast-forwards the transport's deadline wheel without
-// any real sleeping.
+// any real sleeping. All methods are safe for concurrent use, so the
+// shared mux's writer workers and reader loop can hit one fake at once
+// under -race.
 type fakeConn struct {
+	mu sync.Mutex
+
 	// respond produces the response for one sent probe; ok=false means the
 	// network stays silent (a star at the source of truth).
 	respond func(probe []byte) ([]byte, bool)
@@ -34,6 +39,17 @@ type fakeConn struct {
 	// for the rest. Returning (len, nil) leaves the call untouched.
 	writeErr   func(call, n int) (int, error)
 	writeCalls int
+
+	// readErr, when set, can fail a ReadBatch with a fatal socket error:
+	// it receives the call ordinal (counted per ReadBatch invocation) and
+	// returns nil to leave the call untouched. The mux treats any
+	// non-ErrTimeout read failure as a dead socket and reopens.
+	readErr   func(call int) error
+	readCalls int
+
+	// kdrops, when nonzero, is reported by KernelDrops — the fake's
+	// SO_RXQ_OVFL seam for receive-pressure tests.
+	kdrops uint64
 }
 
 // fakeSchedule scripts the fault injection, keyed by send ordinal (the
@@ -60,6 +76,8 @@ type heldResp struct {
 }
 
 func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return 0, errors.New("fake: closed")
 	}
@@ -103,8 +121,17 @@ func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
 }
 
 func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return 0, errors.New("fake: closed")
+	}
+	if c.readErr != nil {
+		call := c.readCalls
+		c.readCalls++
+		if err := c.readErr(call); err != nil {
+			return 0, err
+		}
 	}
 	// Advance the virtual clock: release held responses as their delay
 	// elapses. A timeout is only reported once nothing is held either —
@@ -147,6 +174,29 @@ func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
 func (c *fakeConn) SetReadDeadline(time.Time) error { return nil }
 
 func (c *fakeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.closed = true
 	return nil
+}
+
+// KernelDrops implements DropCounter for receive-pressure tests.
+func (c *fakeConn) KernelDrops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kdrops
+}
+
+// setKernelDrops bumps the fake's cumulative kernel-drop counter.
+func (c *fakeConn) setKernelDrops(v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kdrops = v
+}
+
+// sendCount returns how many probes have hit the wire so far.
+func (c *fakeConn) sendCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sends)
 }

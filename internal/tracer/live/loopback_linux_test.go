@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/measure"
 	"repro/internal/tracer"
 )
 
@@ -57,4 +58,61 @@ func TestLiveLoopback(t *testing.T) {
 			t.Fatalf("route = %v kind=%v, want one echo-reply hop", rt.Addresses(), rt.Hops[0].Kind)
 		}
 	})
+}
+
+// TestLiveMuxLoopback runs a real multi-worker measure.Campaign over one
+// shared Mux against the loopback range: 127.0.0.1..8 are all the local
+// stack on Linux, so eight workers' interleaved Paris UDP ladders — one raw
+// ICMP+TCP socket pair for the whole campaign — must each resolve to a
+// single port-unreachable hop answering as the probed address. This is the
+// privileged end-to-end check of the attribution path the hermetic fakeConn
+// tests exercise in miniature.
+func TestLiveMuxLoopback(t *testing.T) {
+	if err := Available(); err != nil {
+		t.Skipf("raw sockets unavailable: %v", err)
+	}
+	const workers, rounds = 8, 2
+	var dests []netip.Addr
+	for i := byte(1); i <= 8; i++ {
+		dests = append(dests, netip.AddrFrom4([4]byte{127, 0, 0, i}))
+	}
+	m, err := NewMux(MuxConfig{
+		Source:  netip.AddrFrom4([4]byte{127, 0, 0, 1}),
+		Timeout: 2 * time.Second, Retries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	camp, err := measure.NewCampaign(nil, measure.Config{
+		Dests: dests, Rounds: rounds, Workers: workers,
+		MinTTL: 1, PortSeed: 42, Batch: true,
+		TransportFor: func(int) tracer.Transport { return m.Transport() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res.Rounds {
+		for _, p := range res.Rounds[r] {
+			if p.Paris == nil || !p.Paris.Reached() {
+				t.Fatalf("round %d dest %v: loopback not reached: %+v", r, p.Dest, p.Outcome)
+			}
+			if len(p.Paris.Hops) != 1 || p.Paris.Hops[0].Addr != p.Dest {
+				t.Errorf("round %d dest %v: route %v, want one hop answering as the destination",
+					r, p.Dest, p.Paris.Addresses())
+			}
+		}
+	}
+	h := m.Health()
+	if h.InFlight != 0 {
+		t.Errorf("campaign done but %d probes still in flight", h.InFlight)
+	}
+	if h.Destinations == 0 {
+		t.Errorf("no destination collected an RTT sample: %+v", h)
+	}
 }

@@ -46,27 +46,58 @@ func sendmmsg(fd int, dgs []Datagram) (int, error) {
 	return int(n), nil
 }
 
+// recvCtrlSpace sizes one message's control buffer: room for the
+// SO_RXQ_OVFL cmsg (header plus a uint32) with alignment slack.
+const recvCtrlSpace = 48
+
 // recvmmsg drains every immediately-available datagram into dgs in one
-// nonblocking syscall, filling each entry's N.
-func recvmmsg(fd int, dgs []Datagram) (int, error) {
+// nonblocking syscall, filling each entry's N. The second return value is
+// the largest SO_RXQ_OVFL overflow counter seen in the sweep's control
+// messages — the kernel attaches the cumulative per-socket drop count to
+// every datagram once the option is enabled — or 0 when none arrived.
+func recvmmsg(fd int, dgs []Datagram) (int, uint32, error) {
 	vec := make([]mmsghdr, len(dgs))
 	iovs := make([]syscall.Iovec, len(dgs))
+	ctrl := make([]byte, len(dgs)*recvCtrlSpace)
 	for i := range dgs {
 		iovs[i].Base = &dgs[i].Buf[0]
 		iovs[i].SetLen(len(dgs[i].Buf))
 		vec[i].hdr.Iov = &iovs[i]
 		vec[i].hdr.Iovlen = 1
+		vec[i].hdr.Control = &ctrl[i*recvCtrlSpace]
+		vec[i].hdr.SetControllen(recvCtrlSpace)
 	}
 	n, _, errno := syscall.Syscall6(sysRecvmmsg,
 		uintptr(fd), uintptr(unsafe.Pointer(&vec[0])), uintptr(len(vec)),
 		uintptr(syscall.MSG_DONTWAIT), 0, 0)
 	if errno != 0 {
-		return int(n), errno
+		return int(n), 0, errno
 	}
+	var ovfl uint32
 	for i := 0; i < int(n); i++ {
 		dgs[i].N = int(vec[i].mlen)
+		if clen := int(vec[i].hdr.Controllen); clen > 0 && clen <= recvCtrlSpace {
+			if v, ok := parseRxqOvfl(ctrl[i*recvCtrlSpace : i*recvCtrlSpace+clen]); ok && v > ovfl {
+				ovfl = v
+			}
+		}
 	}
-	return int(n), nil
+	return int(n), ovfl, nil
+}
+
+// parseRxqOvfl extracts the SO_RXQ_OVFL counter from one message's
+// control region, if present.
+func parseRxqOvfl(b []byte) (uint32, bool) {
+	msgs, err := syscall.ParseSocketControlMessage(b)
+	if err != nil {
+		return 0, false
+	}
+	for _, m := range msgs {
+		if m.Header.Level == syscall.SOL_SOCKET && m.Header.Type == soRXQOvfl && len(m.Data) >= 4 {
+			return uint32(m.Data[0]) | uint32(m.Data[1])<<8 | uint32(m.Data[2])<<16 | uint32(m.Data[3])<<24, true
+		}
+	}
+	return 0, false
 }
 
 // pollFD mirrors struct pollfd.
@@ -78,23 +109,30 @@ type pollFD struct {
 
 const pollIn = 0x1
 
-// waitReadable blocks via ppoll until one of the two sockets is readable or
-// the timeout elapses (nil: wait forever). Unlike select(2) this carries no
-// FD_SETSIZE ceiling, so descriptors above 1024 — routine in a process that
-// opens one Transport per campaign worker — work unchanged.
-func waitReadable(fd1, fd2 int, tmo *syscall.Timespec) (r1, r2 bool, err error) {
-	pfds := [2]pollFD{
+// waitReadable blocks via ppoll until one of the two sockets (or the wake
+// pipe, when wakeFD >= 0) is readable or the timeout elapses (nil: wait
+// forever). Unlike select(2) this carries no FD_SETSIZE ceiling, so
+// descriptors above 1024 — routine in a process that opens one Transport
+// per campaign worker — work unchanged.
+func waitReadable(fd1, fd2, wakeFD int, tmo *syscall.Timespec) (r1, r2, woke bool, err error) {
+	pfds := [3]pollFD{
 		{fd: int32(fd1), events: pollIn},
 		{fd: int32(fd2), events: pollIn},
+		{fd: int32(wakeFD), events: pollIn},
+	}
+	nfds := uintptr(3)
+	if wakeFD < 0 {
+		nfds = 2
 	}
 	n, _, errno := syscall.Syscall6(sysPpoll,
-		uintptr(unsafe.Pointer(&pfds[0])), 2,
+		uintptr(unsafe.Pointer(&pfds[0])), nfds,
 		uintptr(unsafe.Pointer(tmo)), 0, 0, 0)
 	if errno != 0 {
-		return false, false, errno
+		return false, false, false, errno
 	}
 	if n == 0 {
-		return false, false, nil
+		return false, false, false, nil
 	}
-	return pfds[0].revents&pollIn != 0, pfds[1].revents&pollIn != 0, nil
+	return pfds[0].revents&pollIn != 0, pfds[1].revents&pollIn != 0,
+		nfds == 3 && pfds[2].revents&pollIn != 0, nil
 }

@@ -1,0 +1,918 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/tracer"
+)
+
+// This file is the campaign-wide demultiplexer: one raw socket pair, the
+// whole fleet. A Mux owns a single PacketConn and a single receive loop;
+// any number of workers call ExchangeBatch concurrently through the thin
+// MuxTransport handles it hands out, and the loop attributes every inbound
+// datagram across all in-flight batches by the same quoted-flow-identifier
+// keys the per-batch wheel (live.go) uses — the per-batch key table is
+// simply promoted to a mux-global registration table with per-batch
+// ownership and race-safe unregister on completion.
+//
+// Three robustness layers ride on the shared loop (see docs/live.md for
+// the full contracts):
+//
+//   - Per-destination adaptive timeouts: an RFC 6298 SRTT/RTTVAR estimator
+//     per destination (rtt.go), fed by every first-transmission RTT the
+//     wheel observes and never by retransmits (Karn's rule), yields each
+//     probe's deadline and retransmit spacing, clamped into
+//     [TimeoutFloor, Timeout].
+//   - Receive-pressure degradation: kernel drop counts (SO_RXQ_OVFL via
+//     the DropCounter seam) and sustained full-buffer read sweeps raise a
+//     degrade shift that widens every adaptive timeout toward the cap and
+//     fires OnPressure, which binaries wire to tracer.Pacer.SetRate so the
+//     probe rate backs off. Every event is counted, never silent.
+//   - Supervised socket recovery: a fatal receive error closes and
+//     re-opens the socket pair (Redial) with bounded retries, re-sending
+//     every in-flight probe on the new conn — attempts preserved, RTT
+//     sampling suppressed (the old copy may still answer) — so probes are
+//     retried, never lost. Redial exhaustion fails the in-flight probes
+//     with the fatal error and marks the mux broken, per the transient/
+//     fatal taxonomy.
+//
+// Lock order: a worker registers, sends, and wakes the loop under mu; the
+// loop reads without mu (the conn is the only thing it touches unlocked)
+// and takes mu to dispatch, expire, and reopen. Sends from both sides are
+// serialized by mu itself. The fake conn's virtual clock works unchanged:
+// the loop's read deadline is always the earliest wheel deadline, so an
+// ErrTimeout turn always expires at least one slot and the wheel advances
+// without real sleeps.
+
+// MuxConfig parameterizes a shared demultiplexer.
+type MuxConfig struct {
+	// Source is the local IPv4 address probes carry; LocalIPv4 guesses it.
+	Source netip.Addr
+	// Timeout caps every adaptive per-probe timeout and is the timeout
+	// used before a destination has any RTT sample (the paper's tool
+	// waits 2 s). Zero selects 2 s.
+	Timeout time.Duration
+	// TimeoutFloor floors the adaptive timeout so one fast sample cannot
+	// collapse a destination's deadline below reason. Zero selects 100 ms.
+	TimeoutFloor time.Duration
+	// Retries is how many times an unanswered probe is re-sent before it
+	// resolves as a star. Zero means send once, never re-send.
+	Retries int
+	// Context, when non-nil, cancels in-flight exchanges: every waiting
+	// worker fails its unresolved probes with the context's error.
+	// Cancellation is observed by the waiting workers themselves, so it
+	// is prompt regardless of the loop's read deadline.
+	Context context.Context
+	// Conn overrides the raw-socket layer — the test seam. Nil dials the
+	// platform's real raw sockets (Linux only, needs root/CAP_NET_RAW).
+	Conn PacketConn
+	// Redial re-opens the socket layer after a fatal receive error. Nil
+	// with a nil Conn selects dialRaw; nil with an injected Conn leaves
+	// the mux unable to reopen (the first fatal error breaks it), which
+	// is what hermetic tests that do not exercise recovery want.
+	Redial func() (PacketConn, error)
+	// MaxReopens bounds both the redial attempts within one recovery
+	// incident and the consecutive incidents tolerated without a single
+	// successful read in between. Zero selects 3.
+	MaxReopens int
+	// MTU sizes receive buffers. Zero selects 1500.
+	MTU int
+	// OnPressure, when set, is invoked (outside the mux lock) every time
+	// the degradation level changes — up on detected receive pressure,
+	// down as clean read turns accumulate — with a health snapshot.
+	// Binaries use it to drive tracer.Pacer.SetRate.
+	OnPressure func(tracer.MuxHealth)
+	// Sleep replaces time.Sleep for redial backoff; tests inject a no-op.
+	Sleep func(time.Duration)
+}
+
+// Mux is the shared demultiplexer. Create with NewMux, hand each worker a
+// Transport (all handles are safe for concurrent use and may also be
+// shared), observe with Health, end with Close.
+type Mux struct {
+	src        netip.Addr
+	timeout    time.Duration
+	floor      time.Duration
+	retries    int
+	maxReopens int
+	mtu        int
+	ctx        context.Context
+	redial     func() (PacketConn, error)
+	onPressure func(tracer.MuxHealth)
+	sleepFn    func(time.Duration)
+
+	mu   sync.Mutex
+	cond *sync.Cond // registration/close wake-up for the idle loop
+	conn PacketConn // nil only transiently inside reopenLocked
+	// armed is the read deadline the loop is currently blocked on (zero:
+	// the loop is not in a read); a worker registering an earlier
+	// deadline wakes the conn through the Waker seam.
+	armed  time.Time
+	closed bool
+	broken error // terminal failure: reopen budget exhausted
+
+	byKey   map[matchKey][]slotRef
+	batches map[*muxBatch]struct{}
+	est     map[[4]byte]*rttEstimator
+
+	degrade        int
+	cleanTurns     int
+	lagStreak      int
+	incidentStreak int
+
+	inFlight       int
+	inFlightPeak   int
+	reopens        int
+	pressureEvents int
+	kdrops         uint64
+
+	send []Datagram // send scratch, guarded by mu
+	recv []Datagram // receive scratch, loop-owned
+
+	loopDone chan struct{}
+}
+
+// slotRef names one in-flight probe: batch identity plus slot index. The
+// registration table maps each match key to a FIFO of these.
+type slotRef struct {
+	b *muxBatch
+	i int
+}
+
+// muxBatch is one worker's ExchangeBatch call in flight.
+type muxBatch struct {
+	slots      []muxSlot
+	out        []tracer.ProbeResult
+	unresolved int
+	done       chan struct{} // closed exactly once, under mu
+}
+
+// muxSlot is one in-flight probe's wheel entry (the mux-side slot).
+type muxSlot struct {
+	probe            []byte
+	dst              [4]byte
+	quoted, terminal matchKey
+	hasTerminal      bool
+	registered       bool
+	sentAt           time.Time
+	deadline         time.Time
+	attempts         int
+	sendDefers       int
+	// noSample suppresses the RTT sample per Karn's rule: set on every
+	// retransmission and on reopen re-sends (an answer may belong to any
+	// copy of the probe).
+	noSample bool
+	resolved bool
+	err      error
+}
+
+// errMuxClosed fails exchanges against a closed mux.
+var errMuxClosed = errors.New("live: mux closed")
+
+// Pressure- and recovery-tuning constants. The degrade shift widens
+// adaptive timeouts by up to 1<<maxDegradeShift (still capped at Timeout);
+// lagPressureStreak consecutive full receive sweeps count as pressure even
+// without kernel drop counts; degradeDecayTurns clean read turns step the
+// degradation back down one level.
+const (
+	maxDegradeShift   = 3
+	lagPressureStreak = 4
+	degradeDecayTurns = 64
+	reopenBackoffBase = 100 * time.Millisecond
+)
+
+// NewMux opens a shared demultiplexer and starts its receive loop.
+func NewMux(cfg MuxConfig) (*Mux, error) {
+	if !cfg.Source.Is4() {
+		return nil, fmt.Errorf("live: need an IPv4 source address, got %v", cfg.Source)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.TimeoutFloor <= 0 {
+		cfg.TimeoutFloor = 100 * time.Millisecond
+	}
+	if cfg.TimeoutFloor > cfg.Timeout {
+		cfg.TimeoutFloor = cfg.Timeout
+	}
+	if cfg.MaxReopens <= 0 {
+		cfg.MaxReopens = 3
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	conn, redial := cfg.Conn, cfg.Redial
+	if conn == nil {
+		if redial == nil {
+			redial = dialRaw
+		}
+		var err error
+		if conn, err = redial(); err != nil {
+			return nil, err
+		}
+	}
+	if redial == nil {
+		redial = func() (PacketConn, error) {
+			return nil, errors.New("live: no Redial configured")
+		}
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	m := &Mux{
+		src:        cfg.Source,
+		timeout:    cfg.Timeout,
+		floor:      cfg.TimeoutFloor,
+		retries:    cfg.Retries,
+		maxReopens: cfg.MaxReopens,
+		mtu:        cfg.MTU,
+		ctx:        cfg.Context,
+		redial:     redial,
+		onPressure: cfg.OnPressure,
+		sleepFn:    sleep,
+		conn:       conn,
+		byKey:      make(map[matchKey][]slotRef),
+		batches:    make(map[*muxBatch]struct{}),
+		est:        make(map[[4]byte]*rttEstimator),
+		recv:       make([]Datagram, 64),
+		loopDone:   make(chan struct{}),
+	}
+	for i := range m.recv {
+		m.recv[i].Buf = make([]byte, m.mtu)
+	}
+	m.cond = sync.NewCond(&m.mu)
+	go m.loop()
+	return m, nil
+}
+
+// Source returns the configured local address.
+func (m *Mux) Source() netip.Addr { return m.src }
+
+// Close fails every in-flight probe, stops the receive loop, and releases
+// the sockets. It returns after the loop goroutine has exited, so a closed
+// mux leaks nothing. Safe to call more than once.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.loopDone
+		return nil
+	}
+	m.closed = true
+	m.failAllLocked(errMuxClosed)
+	conn := m.conn
+	m.conn = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	var err error
+	if conn != nil {
+		// A loop blocked in the conn's read won't notice a concurrent close
+		// of the descriptors it is polling; pop it out through the Waker
+		// seam first, then close. The loop observes closed and exits.
+		if w, ok := conn.(Waker); ok {
+			w.Wake()
+		}
+		err = conn.Close()
+	}
+	<-m.loopDone
+	return err
+}
+
+// Transport returns a tracer.Transport / tracer.BatchTransport /
+// tracer.FallibleTransport handle over the mux. Handles are stateless and
+// safe for concurrent use; a campaign may give every worker its own or
+// share one, indifferently.
+func (m *Mux) Transport() *MuxTransport { return &MuxTransport{m: m} }
+
+// MuxTransport is a worker's handle on a shared Mux.
+type MuxTransport struct{ m *Mux }
+
+// Source implements tracer.Transport.
+func (t *MuxTransport) Source() netip.Addr { return t.m.src }
+
+// Exchange implements tracer.Transport: a batch of one. Per-probe faults
+// degrade to stars; use ExchangeErr to observe them.
+func (t *MuxTransport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	resp, rtt, ok, _ := t.ExchangeErr(probe)
+	return resp, rtt, ok
+}
+
+// ExchangeErr implements tracer.FallibleTransport.
+func (t *MuxTransport) ExchangeErr(probe []byte) ([]byte, time.Duration, bool, error) {
+	probes := [1][]byte{probe}
+	var out [1]tracer.ProbeResult
+	t.m.exchangeBatch(probes[:], out[:])
+	if out[0].Err != nil {
+		return nil, 0, false, out[0].Err
+	}
+	if !out[0].OK {
+		return nil, 0, false, nil
+	}
+	return out[0].Resp, out[0].RTT, true, nil
+}
+
+// ExchangeBatch implements tracer.BatchTransport. Unlike the per-worker
+// Transport, concurrent calls interleave freely: the mux attributes every
+// response by flow identifier across all in-flight batches.
+func (t *MuxTransport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	t.m.exchangeBatch(probes, out)
+}
+
+// Health snapshots the mux's robustness counters.
+func (m *Mux) Health() tracer.MuxHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.healthLocked()
+}
+
+func (m *Mux) healthLocked() tracer.MuxHealth {
+	h := tracer.MuxHealth{
+		InFlight:       m.inFlight,
+		InFlightPeak:   m.inFlightPeak,
+		KernelDrops:    m.kdrops,
+		Reopens:        m.reopens,
+		PressureEvents: m.pressureEvents,
+		DegradeShift:   m.degrade,
+		Destinations:   len(m.est),
+	}
+	var sum int64
+	for dst := range m.est {
+		r := int64(m.rtoLocked(dst))
+		sum += r
+		if h.RTOMinNs == 0 || r < h.RTOMinNs {
+			h.RTOMinNs = r
+		}
+		if r > h.RTOMaxNs {
+			h.RTOMaxNs = r
+		}
+	}
+	if n := len(m.est); n > 0 {
+		h.RTOMeanNs = sum / int64(n)
+	}
+	return h
+}
+
+// exchangeBatch registers the batch in the mux-global table, performs the
+// initial send, and blocks until the receive loop (or cancellation)
+// resolves every probe.
+func (m *Mux) exchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("live: ExchangeBatch result slice shorter than probe slice")
+	}
+	if len(probes) == 0 {
+		return
+	}
+	b := &muxBatch{slots: make([]muxSlot, len(probes)), out: out, done: make(chan struct{})}
+
+	m.mu.Lock()
+	if ferr := m.fatalLocked(); ferr != nil {
+		m.mu.Unlock()
+		for i := range probes {
+			resetResult(&out[i])
+			out[i].Err = ferr
+		}
+		return
+	}
+	for i, p := range probes {
+		resetResult(&out[i])
+		s := &b.slots[i]
+		s.probe = p
+		quoted, terminal, hasTerminal, ok := probeKeys(p)
+		if !ok {
+			s.resolved = true // unparseable: an immediate star
+			continue
+		}
+		s.dst = quoted.dst
+		s.quoted, s.terminal, s.hasTerminal = quoted, terminal, hasTerminal
+		s.registered = true
+		m.byKey[quoted] = append(m.byKey[quoted], slotRef{b, i})
+		if hasTerminal {
+			m.byKey[terminal] = append(m.byKey[terminal], slotRef{b, i})
+		}
+		b.unresolved++
+	}
+	if b.unresolved == 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.batches[b] = struct{}{}
+	m.inFlight += b.unresolved
+	if m.inFlight > m.inFlightPeak {
+		m.inFlightPeak = m.inFlight
+	}
+	refs := make([]slotRef, 0, b.unresolved)
+	for i := range b.slots {
+		if !b.slots[i].resolved {
+			refs = append(refs, slotRef{b, i})
+		}
+	}
+	m.sendRefsLocked(time.Now(), refs, false)
+	// Wake an idle loop; if it is instead blocked in a read armed at a
+	// later deadline than this batch's earliest, nudge the conn.
+	m.cond.Broadcast()
+	var wake Waker
+	if !m.armed.IsZero() {
+		if dl := m.batchEarliestLocked(b); dl.Before(m.armed) {
+			wake, _ = m.conn.(Waker)
+		}
+	}
+	m.mu.Unlock()
+	if wake != nil {
+		wake.Wake()
+	}
+
+	if m.ctx == nil {
+		<-b.done
+		return
+	}
+	select {
+	case <-b.done:
+	case <-m.ctx.Done():
+		m.failBatch(b, m.ctx.Err())
+		<-b.done
+	}
+}
+
+// fatalLocked returns the error new exchanges must fail with, if any.
+func (m *Mux) fatalLocked() error {
+	if m.closed {
+		return errMuxClosed
+	}
+	return m.broken
+}
+
+// resetResult restores a recycled ProbeResult to its pre-exchange state,
+// keeping the response buffer for append-truncate reuse.
+func resetResult(r *tracer.ProbeResult) {
+	r.OK = false
+	r.RTT = 0
+	r.Err = nil
+	if r.Resp != nil {
+		r.Resp = r.Resp[:0]
+	}
+}
+
+// loop is the mux's single receive goroutine: wait for work, read until
+// the earliest wheel deadline, dispatch, expire, recover.
+func (m *Mux) loop() {
+	defer close(m.loopDone)
+	m.mu.Lock()
+	for {
+		for !m.closed && m.broken == nil && len(m.batches) == 0 {
+			m.cond.Wait()
+		}
+		if m.closed || m.broken != nil {
+			m.mu.Unlock()
+			return
+		}
+		dl := m.earliestDeadlineLocked()
+		conn := m.conn
+		m.armed = dl
+		m.mu.Unlock()
+
+		rerr := conn.SetReadDeadline(dl)
+		var n int
+		if rerr == nil {
+			n, rerr = conn.ReadBatch(m.recv)
+		}
+		now := time.Now()
+
+		m.mu.Lock()
+		m.armed = time.Time{}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if n > 0 {
+			m.dispatchLocked(n, now)
+			m.incidentStreak = 0
+		}
+		switch {
+		case rerr == nil:
+			// Full sweeps back-to-back mean the loop is not keeping up
+			// with the receive rate — pressure even without kernel counts.
+			if n == len(m.recv) {
+				m.lagStreak++
+			} else {
+				m.lagStreak = 0
+			}
+		case errors.Is(rerr, ErrTimeout):
+			// The conn reports the deadline we set has passed: expire
+			// everything due at or before it. Trusting the conn (not the
+			// wall clock) is what lets the fake fast-forward the wheel.
+			m.lagStreak = 0
+			m.incidentStreak = 0
+			m.expireLocked(dl, now)
+		default:
+			m.lagStreak = 0
+			m.reopenLocked(fmt.Errorf("live: receive: %w", rerr))
+		}
+		changed := m.pressureLocked(conn)
+		if changed && m.onPressure != nil {
+			h := m.healthLocked()
+			cb := m.onPressure
+			m.mu.Unlock()
+			cb(h)
+			m.mu.Lock()
+		}
+	}
+}
+
+// dispatchLocked attributes n received datagrams to their in-flight
+// probes across every registered batch.
+func (m *Mux) dispatchLocked(n int, now time.Time) {
+	for i := 0; i < n; i++ {
+		dg := &m.recv[i]
+		key, ok := respKey(dg.Buf[:dg.N])
+		if !ok {
+			continue // unrelated traffic
+		}
+		ref, ok := m.popLocked(key)
+		if !ok {
+			continue // duplicate, or someone else's conversation
+		}
+		s := &ref.b.slots[ref.i]
+		out := &ref.b.out[ref.i]
+		out.Resp = append(out.Resp[:0], dg.Buf[:dg.N]...)
+		out.RTT = now.Sub(s.sentAt)
+		out.OK = true
+		if s.attempts == 1 && !s.noSample {
+			// Karn's rule: only first-transmission responses feed the
+			// estimator.
+			e := m.est[s.dst]
+			if e == nil {
+				e = &rttEstimator{}
+				m.est[s.dst] = e
+			}
+			e.observe(out.RTT)
+		}
+		m.resolveLocked(ref)
+	}
+}
+
+// resolveLocked marks ref's slot resolved and completes its batch when it
+// was the last one. The slot's result fields are the caller's business.
+func (m *Mux) resolveLocked(ref slotRef) {
+	s := &ref.b.slots[ref.i]
+	s.resolved = true
+	ref.b.unresolved--
+	m.inFlight--
+	if ref.b.unresolved == 0 {
+		m.unregisterLocked(ref.b)
+		close(ref.b.done)
+	}
+}
+
+// unregisterLocked removes every key-table reference the batch owns — the
+// race-safe unregister: it runs under mu, so no response being dispatched
+// concurrently can resolve against a completed batch's slots.
+func (m *Mux) unregisterLocked(b *muxBatch) {
+	for i := range b.slots {
+		s := &b.slots[i]
+		if !s.registered {
+			continue
+		}
+		m.dropRefLocked(s.quoted, b, i)
+		if s.hasTerminal {
+			m.dropRefLocked(s.terminal, b, i)
+		}
+	}
+	delete(m.batches, b)
+}
+
+func (m *Mux) dropRefLocked(k matchKey, b *muxBatch, i int) {
+	q := m.byKey[k]
+	for j := range q {
+		if q[j].b == b && q[j].i == i {
+			q = append(q[:j], q[j+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(m.byKey, k)
+	} else {
+		m.byKey[k] = q
+	}
+}
+
+// popLocked resolves key to the oldest unanswered probe registered under
+// it, consuming the entry — the same FIFO rule as the per-batch wheel,
+// now spanning every batch in flight.
+func (m *Mux) popLocked(key matchKey) (slotRef, bool) {
+	q := m.byKey[key]
+	for len(q) > 0 {
+		ref := q[0]
+		q = q[1:]
+		if !ref.b.slots[ref.i].resolved {
+			m.byKey[key] = q
+			return ref, true
+		}
+	}
+	if q != nil {
+		m.byKey[key] = q
+	}
+	return slotRef{}, false
+}
+
+// earliestDeadlineLocked returns the soonest deadline among every
+// in-flight probe of every batch.
+func (m *Mux) earliestDeadlineLocked() time.Time {
+	var dl time.Time
+	for b := range m.batches {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.resolved {
+				continue
+			}
+			if dl.IsZero() || s.deadline.Before(dl) {
+				dl = s.deadline
+			}
+		}
+	}
+	return dl
+}
+
+// batchEarliestLocked returns b's soonest unresolved deadline.
+func (m *Mux) batchEarliestLocked(b *muxBatch) time.Time {
+	var dl time.Time
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.resolved {
+			continue
+		}
+		if dl.IsZero() || s.deadline.Before(dl) {
+			dl = s.deadline
+		}
+	}
+	return dl
+}
+
+// expireLocked advances the wheel past dl: probes due at or before it
+// resolve with their pending fatal error, star when out of attempts, and
+// are re-sent otherwise with their next adaptive-backoff deadline.
+func (m *Mux) expireLocked(dl, now time.Time) {
+	var resend []slotRef
+	for b := range m.batches {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.resolved || s.deadline.After(dl) {
+				continue
+			}
+			switch {
+			case s.err != nil:
+				b.out[i].Err = s.err
+				m.resolveLocked(slotRef{b, i})
+			case s.attempts > m.retries:
+				m.resolveLocked(slotRef{b, i}) // a star: OK stays false
+			default:
+				resend = append(resend, slotRef{b, i})
+			}
+		}
+	}
+	if len(resend) > 0 {
+		m.sendRefsLocked(now, resend, false)
+	}
+}
+
+// sendRefsLocked sends every referenced slot in one WriteBatch and stamps
+// the outcomes, with the same transient/fatal send classification as the
+// per-batch wheel. With reopen set, slots already attempted are re-sent
+// without charging their attempt budget (the socket died under them, the
+// probe is preserved, not penalized) and with RTT sampling suppressed.
+func (m *Mux) sendRefsLocked(now time.Time, refs []slotRef, reopen bool) {
+	if m.conn == nil {
+		// Mid-reopen (only reachable from a registering worker during the
+		// redial window): leave the slots due immediately; the recovery
+		// path re-sends everything unresolved once the new conn is up.
+		for _, ref := range refs {
+			ref.b.slots[ref.i].deadline = now
+		}
+		return
+	}
+	m.send = m.send[:0]
+	for _, ref := range refs {
+		s := &ref.b.slots[ref.i]
+		m.send = append(m.send, Datagram{Buf: s.probe, Dst: s.dst})
+	}
+	sent, err := m.conn.WriteBatch(m.send)
+	for k, ref := range refs {
+		s := &ref.b.slots[ref.i]
+		switch {
+		case k < sent:
+			s.sentAt = now
+			if reopen && s.attempts > 0 {
+				s.noSample = true
+			} else {
+				s.attempts++
+				if s.attempts > 1 {
+					s.noSample = true
+				}
+			}
+			a := s.attempts
+			if a < 1 {
+				a = 1
+			}
+			s.deadline = now.Add(m.backoffRTOLocked(s.dst, a))
+			s.sendDefers = 0
+		case err != nil && transientSendErr(err) && s.sendDefers < maxSendDefers:
+			// The kernel will drain its buffers: re-offer the probe on the
+			// next wheel turn at no attempt cost.
+			s.sendDefers++
+			s.deadline = now
+		case err != nil && !transientSendErr(err):
+			// Nothing will ever send this probe: fail it outright. The
+			// wheel resolves it with this error on its next turn.
+			s.err = fmt.Errorf("live: send: %w", err)
+			s.deadline = now
+		default:
+			// Never made it onto the wire: burn the attempt with an
+			// already-expired deadline so the wheel retries or stars it.
+			s.deadline = now
+			s.attempts++
+		}
+	}
+}
+
+// rtoLocked is destination dst's current adaptive timeout: the RFC 6298
+// RTO clamped into [floor, Timeout], widened by the degradation shift
+// (re-capped), falling back to the Timeout cap before any sample exists.
+func (m *Mux) rtoLocked(dst [4]byte) time.Duration {
+	r := m.est[dst].rto(m.floor, m.timeout)
+	if m.degrade > 0 {
+		r <<= m.degrade
+		if r > m.timeout {
+			r = m.timeout
+		}
+	}
+	return r
+}
+
+// backoffRTOLocked is the deadline spacing for send attempt a (1-based):
+// the adaptive RTO doubled per retransmission, re-clamped at the cap.
+func (m *Mux) backoffRTOLocked(dst [4]byte, a int) time.Duration {
+	r := m.rtoLocked(dst) << (a - 1)
+	if r <= 0 || r > m.timeout {
+		r = m.timeout
+	}
+	return r
+}
+
+// pressureLocked runs the receive-pressure detector after one read turn
+// and reports whether the degradation level changed.
+func (m *Mux) pressureLocked(conn PacketConn) bool {
+	event := false
+	if dc, ok := conn.(DropCounter); ok {
+		if d := dc.KernelDrops(); d > m.kdrops {
+			m.kdrops = d
+			event = true
+		}
+	}
+	if m.lagStreak >= lagPressureStreak {
+		m.lagStreak = 0
+		event = true
+	}
+	if event {
+		m.pressureEvents++
+		m.cleanTurns = 0
+		if m.degrade < maxDegradeShift {
+			m.degrade++
+			return true
+		}
+		return false
+	}
+	m.cleanTurns++
+	if m.cleanTurns >= degradeDecayTurns {
+		m.cleanTurns = 0
+		if m.degrade > 0 {
+			m.degrade--
+			return true
+		}
+	}
+	return false
+}
+
+// reopenLocked is the supervised socket-recovery path, run by the loop on
+// a fatal receive error: close the broken conn, redial with bounded
+// backed-off retries, and re-send every in-flight probe on the new conn.
+// Exhaustion — of redials within the incident, or of consecutive
+// incidents without one successful read between them — fails all
+// in-flight probes with the fatal error and marks the mux broken.
+func (m *Mux) reopenLocked(cause error) {
+	m.incidentStreak++
+	if old := m.conn; old != nil {
+		m.conn = nil
+		old.Close()
+	}
+	if m.incidentStreak > m.maxReopens {
+		m.broken = fmt.Errorf("live: %d consecutive socket failures: %w", m.incidentStreak, cause)
+		m.failAllLocked(m.broken)
+		return
+	}
+	for attempt := 1; attempt <= m.maxReopens; attempt++ {
+		redial := m.redial
+		m.mu.Unlock()
+		c, err := redial()
+		m.mu.Lock()
+		if m.closed {
+			if err == nil {
+				c.Close()
+			}
+			return
+		}
+		if err == nil {
+			m.conn = c
+			m.reopens++
+			m.resendAllLocked(time.Now())
+			return
+		}
+		if attempt == m.maxReopens {
+			m.broken = fmt.Errorf("live: socket reopen failed after %d attempts (%v): %w", attempt, err, cause)
+			m.failAllLocked(m.broken)
+			return
+		}
+		d := reopenBackoffBase << (attempt - 1)
+		if d > m.timeout {
+			d = m.timeout
+		}
+		sleep := m.sleepFn
+		m.mu.Unlock()
+		sleep(d)
+		m.mu.Lock()
+		if m.closed {
+			return
+		}
+	}
+}
+
+// resendAllLocked re-sends every unresolved in-flight probe — the
+// in-flight-preservation half of the recovery contract. Probes that had
+// hit a fatal send error on the dead conn get a clean slate: the error
+// belonged to the old socket.
+func (m *Mux) resendAllLocked(now time.Time) {
+	var refs []slotRef
+	for b := range m.batches {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.resolved {
+				continue
+			}
+			s.err = nil
+			s.sendDefers = 0
+			refs = append(refs, slotRef{b, i})
+		}
+	}
+	if len(refs) > 0 {
+		m.sendRefsLocked(now, refs, true)
+	}
+}
+
+// failAllLocked resolves every in-flight probe of every batch with err and
+// completes the batches.
+func (m *Mux) failAllLocked(err error) {
+	for b := range m.batches {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.resolved {
+				continue
+			}
+			b.out[i].Err = err
+			s.resolved = true
+			b.unresolved--
+			m.inFlight--
+		}
+		delete(m.batches, b)
+		// References die with the map entries; the table must not outlive
+		// the batches it points into.
+		close(b.done)
+	}
+	clear(m.byKey)
+}
+
+// failBatch fails one batch's unresolved probes (the cancellation path,
+// called from the waiting worker). A batch already completed by the loop
+// is left untouched.
+func (m *Mux) failBatch(b *muxBatch, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.batches[b]; !ok {
+		return
+	}
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.resolved {
+			continue
+		}
+		b.out[i].Err = err
+		s.resolved = true
+		b.unresolved--
+		m.inFlight--
+	}
+	m.unregisterLocked(b)
+	close(b.done)
+}

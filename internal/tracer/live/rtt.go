@@ -1,0 +1,62 @@
+package live
+
+import "time"
+
+// Per-destination adaptive timeouts, RFC 6298 style. The mux keeps one
+// rttEstimator per destination address and feeds it every RTT the deadline
+// wheel observes on a first-transmission response — never on a retransmit
+// (Karn's rule: a response after a retransmission cannot be attributed to
+// either copy, so it must not update the estimator). The retransmission
+// timeout it yields is clamped into [floor, cap] before use, and a probe's
+// retransmit spacing doubles from it per attempt (the RFC's exponential
+// backoff), re-clamped at the cap.
+
+// rttEstimator is one destination's SRTT/RTTVAR state. All durations are
+// nanosecond-precision time.Durations; the zero value means "no samples",
+// in which case rto returns the cap (the conservative pre-measurement
+// timeout, exactly the old global -timeout behaviour).
+type rttEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	samples int
+}
+
+// observe folds one round-trip sample in: the first sample initializes
+// SRTT = R, RTTVAR = R/2; every later sample applies the RFC 6298 EWMAs
+// RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R| and SRTT = 7/8·SRTT + 1/8·R.
+// Non-positive samples (a clock hiccup) count as the smallest positive
+// duration so the estimator can only tighten toward the floor, never wedge
+// at zero.
+func (e *rttEstimator) observe(r time.Duration) {
+	if r <= 0 {
+		r = 1
+	}
+	if e.samples == 0 {
+		e.srtt = r
+		e.rttvar = r / 2
+	} else {
+		dev := e.srtt - r
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar = (3*e.rttvar + dev) / 4
+		e.srtt = (7*e.srtt + r) / 8
+	}
+	e.samples++
+}
+
+// rto returns the retransmission timeout SRTT + 4·RTTVAR clamped into
+// [floor, cap]. Without samples it returns the cap.
+func (e *rttEstimator) rto(floor, cap time.Duration) time.Duration {
+	if e == nil || e.samples == 0 {
+		return cap
+	}
+	d := e.srtt + 4*e.rttvar
+	if d < floor {
+		d = floor
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}

@@ -1,0 +1,66 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTEstimatorFirstSample(t *testing.T) {
+	var e rttEstimator
+	e.observe(200 * time.Millisecond)
+	if e.srtt != 200*time.Millisecond || e.rttvar != 100*time.Millisecond {
+		t.Fatalf("first sample: srtt=%v rttvar=%v, want 200ms/100ms", e.srtt, e.rttvar)
+	}
+	// RTO = SRTT + 4·RTTVAR = 600ms, inside the clamps.
+	if got := e.rto(100*time.Millisecond, 2*time.Second); got != 600*time.Millisecond {
+		t.Fatalf("rto = %v, want 600ms", got)
+	}
+}
+
+func TestRTTEstimatorEWMA(t *testing.T) {
+	var e rttEstimator
+	e.observe(200 * time.Millisecond)
+	e.observe(100 * time.Millisecond)
+	// RTTVAR = 3/4·100ms + 1/4·|200−100|ms = 100ms
+	// SRTT   = 7/8·200ms + 1/8·100ms = 187.5ms
+	if want := 100 * time.Millisecond; e.rttvar != want {
+		t.Fatalf("rttvar = %v, want %v", e.rttvar, want)
+	}
+	if want := 1875 * time.Millisecond / 10; e.srtt != want {
+		t.Fatalf("srtt = %v, want %v", e.srtt, want)
+	}
+}
+
+func TestRTTEstimatorClamps(t *testing.T) {
+	floor, cap := 100*time.Millisecond, 2*time.Second
+
+	// No samples (or a nil estimator): the conservative cap.
+	var none *rttEstimator
+	if got := none.rto(floor, cap); got != cap {
+		t.Fatalf("nil estimator rto = %v, want cap %v", got, cap)
+	}
+	if got := (&rttEstimator{}).rto(floor, cap); got != cap {
+		t.Fatalf("zero estimator rto = %v, want cap %v", got, cap)
+	}
+
+	// A fast path clamps up to the floor.
+	var fast rttEstimator
+	fast.observe(time.Millisecond)
+	if got := fast.rto(floor, cap); got != floor {
+		t.Fatalf("fast-path rto = %v, want floor %v", got, floor)
+	}
+
+	// A slow path clamps down to the cap.
+	var slow rttEstimator
+	slow.observe(10 * time.Second)
+	if got := slow.rto(floor, cap); got != cap {
+		t.Fatalf("slow-path rto = %v, want cap %v", got, cap)
+	}
+
+	// Non-positive samples cannot wedge the estimator at zero.
+	var weird rttEstimator
+	weird.observe(-5 * time.Millisecond)
+	if got := weird.rto(floor, cap); got != floor {
+		t.Fatalf("negative-sample rto = %v, want floor %v", got, floor)
+	}
+}

@@ -37,11 +37,36 @@ type PacketConn interface {
 	// ReadBatch blocks until at least one inbound datagram is available or
 	// the deadline set by SetReadDeadline passes, then fills as many
 	// entries of dgs as are immediately ready (one recvmmsg sweep) and
-	// returns how many. A deadline expiry returns 0, ErrTimeout.
+	// returns how many. A deadline expiry returns 0, ErrTimeout. A conn
+	// implementing Waker may also return 0, nil — a spurious wake-up;
+	// callers must re-arm and read again rather than treat it as expiry.
 	ReadBatch(dgs []Datagram) (int, error)
 	// SetReadDeadline bounds subsequent ReadBatch calls. The zero time
 	// means no deadline.
 	SetReadDeadline(t time.Time) error
 	// Close releases the underlying sockets.
 	Close() error
+}
+
+// Waker is the optional wake-up seam on a PacketConn: Wake makes a
+// concurrently blocked ReadBatch return early with (0, nil) instead of
+// waiting out its full deadline. The shared mux uses it when a worker
+// registers probes whose deadline is earlier than the one the receive
+// loop is currently blocked on, so adaptive (shorter-than-cap) timeouts
+// are honored promptly. Wake must be safe to call concurrently and must
+// never block. Conns without the seam merely detect such deadlines late —
+// correctness is unaffected, only timeout latency.
+type Waker interface {
+	Wake()
+}
+
+// DropCounter is the optional receive-pressure seam on a PacketConn:
+// KernelDrops reports the cumulative number of inbound datagrams the
+// kernel discarded because the socket receive queues were full
+// (SO_RXQ_OVFL on Linux), counted over the conn's lifetime. The mux polls
+// it after every read turn; any increase is a pressure event. Conns
+// without the seam (or platforms without the counter) simply contribute
+// no kernel-drop signal — read-loop lag detection still applies.
+type DropCounter interface {
+	KernelDrops() uint64
 }

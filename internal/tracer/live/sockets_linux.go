@@ -5,20 +5,40 @@ package live
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"syscall"
 	"time"
 )
+
+// soRXQOvfl is SO_RXQ_OVFL, absent from the frozen syscall tables: with it
+// set, every received datagram carries a control message holding the
+// cumulative count of datagrams the kernel dropped because this socket's
+// receive queue was full — the receive-pressure signal the shared mux
+// feeds its graceful-degradation policy.
+const soRXQOvfl = 40
 
 // rawConn is the real PacketConn: an IP_HDRINCL raw socket for injection
 // and two shared raw receive sockets — IPPROTO_ICMP for errors and echo
 // replies, IPPROTO_TCP for RST/SYN-ACK terminals. Batches go through
 // sendmmsg/recvmmsg where the architecture support is compiled in
-// (mmsg_linux_*.go) and degrade to per-packet syscalls otherwise.
+// (mmsg_linux_*.go) and degrade to per-packet syscalls otherwise. A
+// self-pipe implements the Waker seam, and SO_RXQ_OVFL control messages
+// (mmsg path only) implement DropCounter.
 type rawConn struct {
 	sendFD   int
 	icmpFD   int
 	tcpFD    int
+	wakeRd   int
+	wakeWr   int
 	deadline time.Time
+	// rxICMP and rxTCP hold each receive socket's last-seen cumulative
+	// overflow count; only the read loop's goroutine touches them.
+	rxICMP, rxTCP uint64
+	// wakeMu guards the wake pipe against Wake racing Close: once closed,
+	// the pipe fds may be reused by the kernel, and a late write would
+	// land in an unrelated descriptor.
+	wakeMu     sync.Mutex
+	wakeClosed bool
 }
 
 // dialRaw opens the raw sockets. Requires root or CAP_NET_RAW.
@@ -49,8 +69,19 @@ func dialRaw() (PacketConn, error) {
 			syscall.Close(tcpFD)
 			return nil, fmt.Errorf("live: set nonblocking: %w", err)
 		}
+		// Best effort: kernels without SO_RXQ_OVFL just deliver no drop
+		// counts, and KernelDrops stays zero.
+		_ = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, soRXQOvfl, 1)
 	}
-	return &rawConn{sendFD: sendFD, icmpFD: icmpFD, tcpFD: tcpFD}, nil
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(sendFD)
+		syscall.Close(icmpFD)
+		syscall.Close(tcpFD)
+		return nil, fmt.Errorf("live: wake pipe: %w", err)
+	}
+	return &rawConn{sendFD: sendFD, icmpFD: icmpFD, tcpFD: tcpFD,
+		wakeRd: pipe[0], wakeWr: pipe[1]}, nil
 }
 
 // Available reports whether this process can open the raw sockets the live
@@ -65,6 +96,13 @@ func Available() error {
 
 // Close implements PacketConn.
 func (c *rawConn) Close() error {
+	c.wakeMu.Lock()
+	if !c.wakeClosed {
+		c.wakeClosed = true
+		syscall.Close(c.wakeRd)
+		syscall.Close(c.wakeWr)
+	}
+	c.wakeMu.Unlock()
 	e1 := syscall.Close(c.sendFD)
 	e2 := syscall.Close(c.icmpFD)
 	e3 := syscall.Close(c.tcpFD)
@@ -76,6 +114,24 @@ func (c *rawConn) Close() error {
 	}
 	return e3
 }
+
+// Wake implements Waker: one byte down the self-pipe pops a blocked
+// ReadBatch out of its poll with a spurious (0, nil). Nonblocking, so a
+// pipe already full of unconsumed wakes (the reader is about to wake
+// anyway) is a no-op.
+func (c *rawConn) Wake() {
+	c.wakeMu.Lock()
+	if !c.wakeClosed {
+		var b [1]byte
+		_, _ = syscall.Write(c.wakeWr, b[:])
+	}
+	c.wakeMu.Unlock()
+}
+
+// KernelDrops implements DropCounter: the summed SO_RXQ_OVFL counters of
+// both receive sockets, as of their latest recvmmsg sweeps. Called from
+// the same goroutine that reads, like the deadline.
+func (c *rawConn) KernelDrops() uint64 { return c.rxICMP + c.rxTCP }
 
 // SetReadDeadline implements PacketConn.
 func (c *rawConn) SetReadDeadline(t time.Time) error {
@@ -137,14 +193,22 @@ func (c *rawConn) ReadBatch(dgs []Datagram) (int, error) {
 			ts := syscall.NsecToTimespec(remain.Nanoseconds())
 			tsp = &ts
 		}
-		icmpReady, tcpReady, err := waitReadable(c.icmpFD, c.tcpFD, tsp)
+		icmpReady, tcpReady, woken, err := waitReadable(c.icmpFD, c.tcpFD, c.wakeRd, tsp)
 		if err == syscall.EINTR {
 			continue
 		}
 		if err != nil {
 			return 0, fmt.Errorf("live: poll: %w", err)
 		}
+		if woken {
+			c.drainWake()
+		}
 		if !icmpReady && !tcpReady {
+			if woken {
+				// Spurious wake-up (Waker contract): the caller re-arms
+				// with a fresh deadline instead of treating this as expiry.
+				return 0, nil
+			}
 			return 0, ErrTimeout
 		}
 		filled := 0
@@ -169,11 +233,37 @@ func (c *rawConn) ReadBatch(dgs []Datagram) (int, error) {
 	}
 }
 
+// drainWake empties the self-pipe so coalesced Wake calls cost one byte
+// each, not one spurious loop turn each.
+func (c *rawConn) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(c.wakeRd, buf[:])
+		if n < len(buf) || err != nil {
+			return
+		}
+	}
+}
+
 // drain reads every immediately-available datagram from fd: one recvmmsg
-// where supported, a nonblocking Recvfrom loop otherwise.
+// where supported, a nonblocking Recvfrom loop otherwise. The recvmmsg
+// path also harvests each sweep's SO_RXQ_OVFL overflow counter into the
+// per-socket drop tallies.
 func (c *rawConn) drain(fd int, dgs []Datagram) (int, error) {
 	if haveMmsg {
-		n, err := recvmmsg(fd, dgs)
+		n, ovfl, err := recvmmsg(fd, dgs)
+		if ovfl > 0 {
+			switch fd {
+			case c.icmpFD:
+				if v := uint64(ovfl); v > c.rxICMP {
+					c.rxICMP = v
+				}
+			case c.tcpFD:
+				if v := uint64(ovfl); v > c.rxTCP {
+					c.rxTCP = v
+				}
+			}
+		}
 		if err == nil || n > 0 {
 			return n, nil
 		}

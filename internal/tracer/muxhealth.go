@@ -1,0 +1,35 @@
+package tracer
+
+// MuxHealth is a point-in-time snapshot of a shared live demultiplexer's
+// robustness counters (internal/tracer/live.Mux.Health). It lives in this
+// package — not in live — so the measurement layer (internal/measure,
+// internal/daemon) can carry it in Stats.Robust without importing the
+// raw-socket code: binaries stamp a snapshot onto the statistics they
+// serve, exactly like the daemon's supervision counters, and Merge never
+// sums it.
+type MuxHealth struct {
+	// InFlight is the number of unresolved probes currently registered
+	// across every worker's batches; InFlightPeak is the high-water mark.
+	InFlight     int
+	InFlightPeak int
+	// KernelDrops is the receive-queue overflow count reported by the
+	// socket layer (SO_RXQ_OVFL), cumulative over the mux's lifetime and
+	// every reopened socket pair. Zero when the platform cannot count.
+	KernelDrops uint64
+	// Reopens counts socket-pair reopens after fatal receive errors.
+	Reopens int
+	// PressureEvents counts detected receive-pressure incidents (kernel
+	// drops observed, or sustained full-buffer read sweeps).
+	PressureEvents int
+	// DegradeShift is the current graceful-degradation level: adaptive
+	// timeouts are widened by this power of two (still capped), and the
+	// pacer is signalled to back off proportionally. Zero is healthy.
+	DegradeShift int
+	// Destinations is how many per-destination RTT estimators are live.
+	Destinations int
+	// RTOMinNs, RTOMeanNs, and RTOMaxNs summarize the adaptive timeout
+	// distribution across those estimators, in nanoseconds, after the
+	// floor/cap clamps and the degradation widening. All zero when no
+	// destination has an estimator yet.
+	RTOMinNs, RTOMeanNs, RTOMaxNs int64
+}

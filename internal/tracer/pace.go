@@ -85,6 +85,36 @@ func (p *Pacer) refill() {
 	p.last = now
 }
 
+// SetRate retunes the admission rate in place. The bucket is settled at
+// the old rate first, so already-accrued tokens are kept and the new rate
+// only governs refills from now on. This is the graceful-degradation knob
+// the live mux's pressure signal drives: halve the rate when the kernel
+// reports receive drops, restore it when the pressure clears. A rate <= 0
+// disables pacing, exactly as at construction.
+func (p *Pacer) SetRate(rate float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rate > 0 {
+		p.refill()
+	} else {
+		p.last = p.now()
+	}
+	p.rate = rate
+}
+
+// Rate returns the current admission rate in probes per second.
+func (p *Pacer) Rate() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
 // Waits reports how many Take calls blocked and for how long in total —
 // the backpressure observability the daemon's stats surface serves.
 func (p *Pacer) Waits() (int64, time.Duration) {
