@@ -14,6 +14,9 @@
 //	anomaly-study -live {-live-dests A.B.C.D[,...] | -live-dests-file FILE}
 //	              [-rounds N] [-workers N] [-batch] [-stream]
 //	              [-timeout D] [-timeout-floor D] [-retries N]
+//	anomaly-study -live ... -capture run.pcap
+//	anomaly-study -replay run.pcap [-rounds N] [-workers N] [-seed N] [-retries N]
+//	              [-live-dests ... | -live-dests-file FILE] [-stats-json out.json]
 //
 // -live swaps the simulator for the raw-socket layer (internal/tracer/
 // live) and runs the identical paired-trace campaign against the real
@@ -29,6 +32,13 @@
 // -retry-backoff flag is accepted but ignored). The report's robustness
 // section carries the mux health counters (reopens, kernel drops,
 // degradation level, RTO spread).
+//
+// -capture records every live probe and response — pre-deduplication, before
+// retransmit folding — to a classic pcap file, installed atomically when the
+// campaign ends (even when interrupted). -replay re-runs a captured campaign
+// offline through the same flow-key attribution as the live demultiplexer
+// and recomputes the statistics; the campaign flags must match the captured
+// run, and divergence fails loudly. See docs/replay.md.
 //
 // -delay, -load, and -churn switch on the simulator's virtual-clock
 // dynamics (netsim.Dynamics): seeded per-link propagation/bandwidth/
@@ -86,9 +96,11 @@ import (
 
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/pcap"
 	"repro/internal/topo"
 	"repro/internal/tracer"
 	"repro/internal/tracer/live"
+	"repro/internal/tracer/replay"
 )
 
 func main() {
@@ -109,6 +121,8 @@ func main() {
 	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive live-probe timeout floor")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
 	_ = flag.Duration("retry-backoff", 0, "ignored: live re-sends are spaced by the per-destination adaptive RTO")
+	capturePath := flag.String("capture", "", "record every live probe and response to this pcap file (requires -live)")
+	replayPath := flag.String("replay", "", "re-run a captured campaign offline from this pcap file (excludes -live and -capture)")
 	failFast := flag.Bool("fail-fast", false, "abort the campaign on the first trace error instead of retrying and quarantining")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for resumable campaigns (requires -stream)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "write the checkpoint every N completed rounds")
@@ -128,6 +142,14 @@ func main() {
 	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "anomaly-study: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *capturePath != "" && !*liveMode {
+		fmt.Fprintln(os.Stderr, "anomaly-study: -capture requires -live (the simulator is already replayable from its seed)")
+		os.Exit(2)
+	}
+	if *replayPath != "" && (*liveMode || *capturePath != "") {
+		fmt.Fprintln(os.Stderr, "anomaly-study: -replay is an offline mode and excludes -live and -capture")
 		os.Exit(2)
 	}
 
@@ -151,9 +173,18 @@ func main() {
 		defer haltCancel()
 	}
 
+	if *replayPath != "" {
+		if err := runReplay(*replayPath, *liveDests, *liveDestsFile, *rounds, *workers, *batch, *stream, *foldEvery, *seed,
+			*timeout, *retries, *statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	if *liveMode {
 		if err := runLive(ctx, *liveDests, *liveDestsFile, *rounds, *workers, *batch, *stream, *foldEvery, *seed,
-			*timeout, *timeoutFloor, *retries, *failFast, *checkpoint, *checkpointEvery); err != nil {
+			*timeout, *timeoutFloor, *retries, *failFast, *checkpoint, *checkpointEvery, *capturePath); err != nil {
 			fmt.Fprintln(os.Stderr, "anomaly-study:", err)
 			os.Exit(2)
 		}
@@ -329,7 +360,7 @@ func writeStatsJSON(path string, stats *measure.Stats) error {
 // within one probe timeout; with -checkpoint set an interrupted live study
 // resumes its round cursor and quarantine state (live responses themselves
 // are not replayable, so resumed statistics are not byte-stable).
-func runLive(ctx context.Context, destList, destsFile string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout, timeoutFloor time.Duration, retries int, failFast bool, checkpoint string, checkpointEvery int) error {
+func runLive(ctx context.Context, destList, destsFile string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout, timeoutFloor time.Duration, retries int, failFast bool, checkpoint string, checkpointEvery int, capturePath string) (err error) {
 	dsts, err := liveDestinations(destList, destsFile)
 	if err != nil {
 		return err
@@ -338,14 +369,32 @@ func runLive(ctx context.Context, destList, destsFile string, rounds, workers in
 	if err != nil {
 		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	m, err := live.NewMux(live.MuxConfig{
+	mc := live.MuxConfig{
 		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
 		Retries: retries, Context: ctx,
 		OnPressure: func(h tracer.MuxHealth) {
 			fmt.Fprintf(os.Stderr, "anomaly-study: receive pressure: degrade=%d kernel-drops=%d events=%d\n",
 				h.DegradeShift, h.KernelDrops, h.PressureEvents)
 		},
-	})
+	}
+	var capSink *pcap.Capture
+	if capturePath != "" {
+		if capSink, err = pcap.CreateCapture(capturePath); err != nil {
+			return err
+		}
+		mc.Capture = capSink
+		// Registered before the mux's Close below, so it flushes after the
+		// mux stops feeding the sink — an interrupted campaign still
+		// installs a complete, readable capture.
+		defer func() {
+			if cerr := capSink.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("finalizing capture: %w", cerr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "anomaly-study: capture: %d record(s) written to %s\n", capSink.Count(), capSink.Path())
+		}()
+	}
+	m, err := live.NewMux(mc)
 	if err != nil {
 		return fmt.Errorf("live probing unavailable: %w", err)
 	}
@@ -384,6 +433,63 @@ func runLive(ctx context.Context, destList, destsFile string, rounds, workers in
 	h := m.Health()
 	stats.Robust.Mux = &h
 	measure.WriteReport(os.Stdout, stats, nil)
+	return nil
+}
+
+// runReplay re-runs a captured live campaign offline: the pcap's probes and
+// responses stand in for the network (no sockets, no privileges), attributed
+// by the same flow-key logic as the live demultiplexer, and the statistics
+// are recomputed from the replayed routes. The campaign shape — rounds,
+// workers, -seed (the port seed), -retries, and the destination order —
+// must match the captured run; pass -live-dests/-live-dests-file to pin the
+// destination order explicitly (defaults to the capture's first-seen order,
+// which matches only single-worker campaigns). Divergence fails loudly.
+func runReplay(path, destList, destsFile string, rounds, workers int, batch, stream bool, foldEvery int, seed int64, timeout time.Duration, retries int, statsJSON string) error {
+	rt, err := replay.Open(path, replay.Config{Retries: retries, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	dsts := rt.Destinations()
+	if destList != "" || destsFile != "" {
+		if dsts, err = liveDestinations(destList, destsFile); err != nil {
+			return err
+		}
+	}
+	camp, err := measure.NewCampaign(nil, measure.Config{
+		Dests:     dsts,
+		Rounds:    rounds,
+		Workers:   workers,
+		MinTTL:    1,
+		PortSeed:  seed,
+		Batch:     batch,
+		Stream:    stream,
+		FoldEvery: foldEvery,
+		// Replay errors are deterministic — a probe the capture does not
+		// hold will be missing on every retry — so the fault-tolerant
+		// retry/quarantine policy would only bury the divergence.
+		FailFast:     true,
+		TransportFor: func(int) tracer.Transport { return rt },
+	})
+	if err != nil {
+		return err
+	}
+	res, err := camp.Run()
+	if err != nil {
+		return fmt.Errorf("replaying %s: %w", path, err)
+	}
+	stats := res.Stats
+	if stats == nil {
+		stats = measure.Analyze(res)
+	}
+	measure.WriteReport(os.Stdout, stats, nil)
+	if l, j := rt.Leftover(), rt.Junk(); l != 0 || j != 0 {
+		fmt.Fprintf(os.Stderr, "anomaly-study: replay: %d captured exchange(s) never served, %d junk record(s) — the replayed campaign diverges from the captured one\n", l, j)
+	}
+	if statsJSON != "" {
+		if werr := writeStatsJSON(statsJSON, stats); werr != nil {
+			return werr
+		}
+	}
 	return nil
 }
 

@@ -17,7 +17,7 @@
 //	         [-fault-seed N] [-fault-transient-every K] [-fault-drop-every K]
 //	         [-fault-panic-every K]
 //	measured -live {-live-dests A.B.C.D[,...] | -live-dests-file FILE}
-//	         [-timeout D] [-timeout-floor D] [-retries N]
+//	         [-timeout D] [-timeout-floor D] [-retries N] [-capture run.pcap]
 //
 // The default transport is the deterministic simulator over a generated
 // topology; -live swaps in the shared raw-socket mux (root or CAP_NET_RAW):
@@ -25,6 +25,10 @@
 // RFC 6298 RTT estimators adapt probe deadlines between -timeout-floor and
 // -timeout, and the mux health counters (reopens, kernel drops, degradation
 // level, RTO spread) are served in /stats under Robust.Mux.
+// -capture records every live probe and response (pre-deduplication) to a
+// classic pcap file, installed atomically on shutdown — including the
+// signalled drain — for offline replay with anomaly-study -replay or
+// paris-traceroute -replay (see docs/replay.md).
 // -rate installs a token-bucket pacer over whichever transport is selected,
 // capping the process's aggregate probe rate; under live receive pressure
 // the mux halves that rate per degradation level and restores it as the
@@ -56,6 +60,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/pcap"
 	"repro/internal/topo"
 	"repro/internal/tracer"
 	"repro/internal/tracer/live"
@@ -93,7 +98,13 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "adaptive live-probe timeout cap (and the timeout before a destination has RTT samples)")
 	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive live-probe timeout floor")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
+	capturePath := flag.String("capture", "", "record every live probe and response to this pcap file (requires -live)")
 	flag.Parse()
+
+	if *capturePath != "" && !*liveMode {
+		fmt.Fprintln(os.Stderr, "measured: -capture requires -live (the simulator is already replayable from its seed)")
+		os.Exit(2)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -127,13 +138,23 @@ func main() {
 	}
 
 	var asNames *asmap.Table
+	var capSink *pcap.Capture
+	var liveM *live.Mux
 	if *liveMode {
-		ds, m, err := liveMux(ctx, *liveDests, *liveDestsFile, *timeout, *timeoutFloor, *retries, pacer, *rate)
+		if *capturePath != "" {
+			var err error
+			if capSink, err = pcap.CreateCapture(*capturePath); err != nil {
+				fmt.Fprintln(os.Stderr, "measured:", err)
+				os.Exit(1)
+			}
+		}
+		ds, m, err := liveMux(ctx, *liveDests, *liveDestsFile, *timeout, *timeoutFloor, *retries, pacer, *rate, capSink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "measured:", err)
 			os.Exit(2)
 		}
 		defer m.Close()
+		liveM = m
 		cfg.Dests = ds
 		cfg.Transport = m.Transport()
 		cfg.Probe.MinTTL = 1
@@ -200,6 +221,18 @@ func main() {
 		// Close, not Shutdown: /events streams hold connections open
 		// indefinitely and would stall a graceful shutdown forever.
 		_ = srv.Close()
+	}
+	if capSink != nil {
+		// The daemon has stopped probing; close the mux (idempotent — the
+		// deferred Close becomes a no-op) so every record reaches the sink,
+		// then install the capture here rather than in a defer: the
+		// signalled exit paths below leave through os.Exit.
+		_ = liveM.Close()
+		if cerr := capSink.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "measured: finalizing capture:", cerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "measured: capture: %d record(s) written to %s\n", capSink.Count(), capSink.Path())
+		}
 	}
 	measure.WriteReport(os.Stdout, d.Snapshot(), asNames)
 	if runErr != nil {
@@ -273,7 +306,7 @@ func restoreProbeCounters(nets []*netsim.Network) func(json.RawMessage) error {
 // clear explanation when raw sockets are unavailable. When a pacer is
 // installed the mux's pressure callback halves the aggregate probe rate per
 // degradation level and restores it as clean read turns accumulate.
-func liveMux(ctx context.Context, destList, destsFile string, timeout, timeoutFloor time.Duration, retries int, pacer *tracer.Pacer, rate float64) ([]netip.Addr, *live.Mux, error) {
+func liveMux(ctx context.Context, destList, destsFile string, timeout, timeoutFloor time.Duration, retries int, pacer *tracer.Pacer, rate float64, capSink *pcap.Capture) ([]netip.Addr, *live.Mux, error) {
 	ds, err := liveDestinations(destList, destsFile)
 	if err != nil {
 		return nil, nil, err
@@ -282,7 +315,7 @@ func liveMux(ctx context.Context, destList, destsFile string, timeout, timeoutFl
 	if err != nil {
 		return nil, nil, fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	m, err := live.NewMux(live.MuxConfig{
+	mc := live.MuxConfig{
 		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
 		Retries: retries, Context: ctx,
 		OnPressure: func(h tracer.MuxHealth) {
@@ -292,7 +325,11 @@ func liveMux(ctx context.Context, destList, destsFile string, timeout, timeoutFl
 			fmt.Fprintf(os.Stderr, "measured: receive pressure: degrade=%d kernel-drops=%d events=%d\n",
 				h.DegradeShift, h.KernelDrops, h.PressureEvents)
 		},
-	})
+	}
+	if capSink != nil {
+		mc.Capture = capSink
+	}
+	m, err := live.NewMux(mc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("live probing unavailable: %w", err)
 	}

@@ -10,6 +10,8 @@
 //	                 [-timeout 2s] [-retries 1] [-retry-backoff 0]
 //	paris-traceroute -live -live-dests-file FILE [-method paris-udp] [-batch]
 //	                 [-timeout 2s] [-timeout-floor 100ms] [-retries 1]
+//	paris-traceroute -live ... -capture trace.pcap
+//	paris-traceroute -replay trace.pcap [-dest A.B.C.D] [-method paris-udp] [-batch] [-retries 1]
 //
 // Scenarios: fig1, fig3, fig4, fig5, fig6, random. -seed seeds the random
 // scenario's generator. With -shards N > 1 the random scenario is
@@ -41,6 +43,17 @@
 // With -flows N > 1, the tool runs the paper's future-work multipath
 // enumeration: one Paris trace per flow, reporting every interface of each
 // load balancer and every distinct path.
+//
+// -capture FILE records every live probe and response (pre-deduplication,
+// before retransmit folding) to a classic pcap file as the trace runs; the
+// file is installed atomically when the run finishes, so an interrupted run
+// still leaves a complete, readable capture. -replay FILE is the offline
+// counterpart: it re-serves a captured run through the same flow-key
+// attribution as the live demultiplexer — no network, no privileges — and
+// traces either -dest or, by default, every destination the capture probed.
+// -retries and -timeout must match the captured run's settings; a probe the
+// capture does not hold fails the replay loudly rather than guessing. See
+// docs/replay.md.
 package main
 
 import (
@@ -55,9 +68,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/pcap"
 	"repro/internal/topo"
 	"repro/internal/tracer"
 	"repro/internal/tracer/live"
+	"repro/internal/tracer/replay"
 )
 
 func main() {
@@ -74,7 +89,41 @@ func main() {
 	timeoutFloor := flag.Duration("timeout-floor", 100*time.Millisecond, "adaptive timeout floor for -live-dests-file probing")
 	retries := flag.Int("retries", 1, "re-sends per unanswered live probe")
 	retryBackoff := flag.Duration("retry-backoff", 0, "jittered backoff between live probe re-sends (0: immediate; -live-dests-file paces by adaptive RTO instead)")
+	capturePath := flag.String("capture", "", "record every live probe and response to this pcap file (requires -live)")
+	replayPath := flag.String("replay", "", "replay a captured pcap offline instead of probing (excludes -live and -capture)")
 	flag.Parse()
+
+	if *replayPath != "" {
+		switch {
+		case *liveMode:
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -replay is an offline mode and excludes -live")
+			os.Exit(2)
+		case *capturePath != "":
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -capture and -replay are mutually exclusive")
+			os.Exit(2)
+		case *flows > 1:
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -flows > 1 is not supported with -replay")
+			os.Exit(2)
+		}
+		if err := runReplay(*replayPath, *liveDest, *method, *batch, *retries, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var capSink *pcap.Capture
+	if *capturePath != "" {
+		if !*liveMode {
+			fmt.Fprintln(os.Stderr, "paris-traceroute: -capture requires -live (the simulator is already replayable from its seed)")
+			os.Exit(2)
+		}
+		var err error
+		if capSink, err = pcap.CreateCapture(*capturePath); err != nil {
+			fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *liveMode && *liveDestsFile != "" {
 		if *liveDest != "" {
@@ -87,7 +136,7 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := runLiveMulti(ctx, *liveDestsFile, *method, *batch, *timeout, *timeoutFloor, *retries); err != nil {
+		if err := runLiveMulti(ctx, *liveDestsFile, *method, *batch, *timeout, *timeoutFloor, *retries, capSink); err != nil {
 			fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 			os.Exit(1)
 		}
@@ -104,7 +153,7 @@ func main() {
 		// waiting out the remaining probe timeouts.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		tp, dest, err = buildLive(ctx, *liveDest, *timeout, *retries, *retryBackoff)
+		tp, dest, err = buildLive(ctx, *liveDest, *timeout, *retries, *retryBackoff, capSink)
 	} else {
 		tp, dest, err = buildScenario(*scenario, *seed, *shards)
 	}
@@ -124,11 +173,68 @@ func main() {
 		os.Exit(2)
 	}
 	rt, err := tr.Trace(dest)
+	// The capture flushes whatever was recorded before the failure too: a
+	// partial run still installs a complete, readable pcap.
+	if cerr := finishCapture(capSink); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paris-traceroute:", err)
 		os.Exit(1)
 	}
 	printRoute(tr.Name(), dest, rt)
+}
+
+// finishCapture installs an armed capture sink and reports where it went.
+func finishCapture(c *pcap.Capture) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("finalizing capture: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "capture: %d record(s) written to %s\n", c.Count(), c.Path())
+	return nil
+}
+
+// runReplay re-serves a captured run offline: the pcap's probes and
+// responses stand in for the network, attributed by the same flow-key logic
+// the live demultiplexer uses. Divergence — a probe the capture never sent,
+// mismatched retry settings — fails loudly rather than inventing traffic.
+func runReplay(path, destStr, method string, batch bool, retries int, timeout time.Duration) error {
+	rt, err := replay.Open(path, replay.Config{Retries: retries, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	tr, err := buildTracer(method, rt, batch)
+	if err != nil {
+		return err
+	}
+	dests := rt.Destinations()
+	if destStr != "" {
+		d, err := netip.ParseAddr(destStr)
+		if err != nil || !d.Is4() {
+			return fmt.Errorf("-dest %q is not an IPv4 address", destStr)
+		}
+		dests = []netip.Addr{d}
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("capture %s holds no probed destinations", path)
+	}
+	for i, d := range dests {
+		route, err := tr.Trace(d)
+		if err != nil {
+			return fmt.Errorf("replaying trace to %v: %w", d, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printRoute(tr.Name(), d, route)
+	}
+	if l, j := rt.Leftover(), rt.Junk(); l != 0 || j != 0 {
+		fmt.Fprintf(os.Stderr, "replay: %d captured exchange(s) never served, %d junk record(s) — the replayed run diverges from the captured one\n", l, j)
+	}
+	return nil
 }
 
 // printRoute renders one measured route in the classic traceroute style
@@ -153,7 +259,7 @@ func printRoute(name string, dest netip.Addr, rt *tracer.Route) {
 
 // runLiveMulti traces every destination in the file through one shared
 // raw-socket mux and closes with the mux health summary.
-func runLiveMulti(ctx context.Context, path, method string, batch bool, timeout, timeoutFloor time.Duration, retries int) error {
+func runLiveMulti(ctx context.Context, path, method string, batch bool, timeout, timeoutFloor time.Duration, retries int, capSink *pcap.Capture) (err error) {
 	dests, err := live.ReadDestsFile(path)
 	if err != nil {
 		return err
@@ -162,10 +268,22 @@ func runLiveMulti(ctx context.Context, path, method string, batch bool, timeout,
 	if err != nil {
 		return fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	m, err := live.NewMux(live.MuxConfig{
+	// Flush the capture after the mux stops feeding it (deferred before the
+	// mux's own Close so it runs after), even when a trace fails: an
+	// interrupted run still installs a complete, readable capture.
+	defer func() {
+		if cerr := finishCapture(capSink); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	mc := live.MuxConfig{
 		Source: src, Timeout: timeout, TimeoutFloor: timeoutFloor,
 		Retries: retries, Context: ctx,
-	})
+	}
+	if capSink != nil {
+		mc.Capture = capSink
+	}
+	m, err := live.NewMux(mc)
 	if err != nil {
 		return fmt.Errorf("live probing unavailable: %w", err)
 	}
@@ -175,7 +293,8 @@ func runLiveMulti(ctx context.Context, path, method string, batch bool, timeout,
 		return err
 	}
 	for i, d := range dests {
-		rt, err := tr.Trace(d)
+		var rt *tracer.Route
+		rt, err = tr.Trace(d)
 		if err != nil {
 			return fmt.Errorf("trace %v: %w", d, err)
 		}
@@ -229,7 +348,7 @@ func enumerate(tp tracer.Transport, dest netip.Addr, flows int) {
 
 // buildLive opens the raw-socket transport, failing with a clear
 // explanation when the capability is missing.
-func buildLive(ctx context.Context, destStr string, timeout time.Duration, retries int, backoff time.Duration) (tracer.Transport, netip.Addr, error) {
+func buildLive(ctx context.Context, destStr string, timeout time.Duration, retries int, backoff time.Duration, capSink *pcap.Capture) (tracer.Transport, netip.Addr, error) {
 	if destStr == "" {
 		return nil, netip.Addr{}, fmt.Errorf("-live requires -dest A.B.C.D")
 	}
@@ -241,7 +360,11 @@ func buildLive(ctx context.Context, destStr string, timeout time.Duration, retri
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("cannot determine local IPv4 source: %w", err)
 	}
-	tp, err := live.New(live.Config{Source: src, Timeout: timeout, Retries: retries, RetryBackoff: backoff, Context: ctx})
+	lc := live.Config{Source: src, Timeout: timeout, Retries: retries, RetryBackoff: backoff, Context: ctx}
+	if capSink != nil {
+		lc.Capture = capSink
+	}
+	tp, err := live.New(lc)
 	if err != nil {
 		return nil, netip.Addr{}, fmt.Errorf("live probing unavailable: %w", err)
 	}

@@ -1,0 +1,60 @@
+// Package atomicio provides crash-safe file installation: a file either
+// appears complete or not at all, never torn. It is the write path under
+// the campaign checkpoints (measure.AtomicWriteJSON) and the pcap capture
+// sink, both of which promise that a kill at any instant leaves either the
+// previous file or a fully-written successor on disk.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path via a temp file in the same directory,
+// fsynced and renamed into place, so a kill mid-write leaves the previous
+// file intact. The temp file is removed on every error path, and a
+// successful write sweeps stale "<base>.tmp*" siblings left behind by
+// writers killed mid-write — the file's writer is assumed to be a single
+// process, which is both the checkpoint and the capture contract.
+func WriteFile(path string, data []byte) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: temp file for %s: %w", base, err)
+	}
+	tmpName := tmp.Name()
+	installed := false
+	defer func() {
+		// One cleanup for every failure path: an error anywhere below
+		// must never leave the .tmp file behind.
+		if !installed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", base, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", base, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", base, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		installed = true // already removed; skip the deferred double-remove
+		return fmt.Errorf("atomicio: installing %s: %w", base, err)
+	}
+	installed = true
+	// Writers killed between CreateTemp and Rename leak their randomized
+	// temp name forever (no later write ever picks the same name). Sweep
+	// them now that a complete file is installed.
+	if stale, err := filepath.Glob(filepath.Join(dir, base+".tmp*")); err == nil {
+		for _, s := range stale {
+			os.Remove(s)
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/anomaly"
+	"repro/internal/atomicio"
 	"repro/internal/tracer"
 )
 
@@ -319,52 +320,15 @@ func RestoreAccumulator(st AccState) (*Accumulator, error) { return restoreAcc(s
 
 // AtomicWriteJSON writes v as JSON to path via a temp file in the same
 // directory, fsynced and renamed into place, so a kill mid-write leaves
-// the previous file intact. The temp file is removed on every error path,
-// and a successful write sweeps stale "<base>.tmp*" siblings left behind
-// by writers killed mid-Save — the file's writer is assumed to be a single
-// process, which is the checkpoint contract.
+// the previous file intact (the atomicio.WriteFile contract; the pcap
+// capture sink flushes on the same path).
 func AtomicWriteJSON(path string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("measure: encoding %s: %w", filepath.Base(path), err)
 	}
-	dir, base := filepath.Dir(path), filepath.Base(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
-	if err != nil {
-		return fmt.Errorf("measure: temp file for %s: %w", base, err)
-	}
-	tmpName := tmp.Name()
-	installed := false
-	defer func() {
-		// One cleanup for every failure path: an error anywhere below
-		// must never leave the .tmp file behind.
-		if !installed {
-			tmp.Close()
-			os.Remove(tmpName)
-		}
-	}()
-	if _, err := tmp.Write(data); err != nil {
-		return fmt.Errorf("measure: writing %s: %w", base, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("measure: syncing %s: %w", base, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("measure: closing %s: %w", base, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		installed = true // already removed; skip the deferred double-remove
-		return fmt.Errorf("measure: installing %s: %w", base, err)
-	}
-	installed = true
-	// Writers killed between CreateTemp and Rename leak their randomized
-	// temp name forever (no later Save ever picks the same name). Sweep
-	// them now that a complete file is installed.
-	if stale, err := filepath.Glob(filepath.Join(dir, base+".tmp*")); err == nil {
-		for _, s := range stale {
-			os.Remove(s)
-		}
+	if err := atomicio.WriteFile(path, data); err != nil {
+		return fmt.Errorf("measure: %s: %w", filepath.Base(path), err)
 	}
 	return nil
 }

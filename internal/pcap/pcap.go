@@ -1,0 +1,225 @@
+// Package pcap reads and writes the classic pcap capture format
+// (https://datatracker.ietf.org/doc/draft-ietf-opsawg-pcap/), the lingua
+// franca of packet tooling: anything this package writes opens in
+// tcpdump/tshark, and captures taken elsewhere replay through the tracer.
+//
+// The live layer's probes and responses are raw IPv4 datagrams (the
+// transport injects full headers via IP_HDRINCL and receives full headers
+// from the raw sockets), so captures use LINKTYPE_RAW — each record's
+// bytes start at the IP version nibble, no link-layer framing. Writers
+// always emit the nanosecond-resolution magic in little-endian byte order;
+// readers accept all four dialects (micro/nano × little/big endian).
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+const (
+	// MagicNano and MagicMicro are the file magics for nanosecond- and
+	// microsecond-resolution captures, as written in the file's own byte
+	// order (reading them "backwards" reveals a foreign-endian file).
+	MagicNano  = 0xa1b23c4d
+	MagicMicro = 0xa1b2c3d4
+
+	// LinkTypeRaw is LINKTYPE_RAW: packet bytes begin at the IPv4/IPv6
+	// header. The only link type this repo's captures use.
+	LinkTypeRaw = 101
+
+	// SnapLen is the capture length written into new files. Probes and
+	// responses are single datagrams well under one MTU, so nothing is
+	// ever truncated at this snap length.
+	SnapLen = 65535
+
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+
+	// maxRecordLen bounds a record's claimed capture length so corrupt or
+	// adversarial headers cannot force huge allocations (fuzzed).
+	maxRecordLen = 1 << 20
+)
+
+// Errors the reader distinguishes: a file that is not pcap at all versus
+// one that ends mid-structure (a torn write).
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic (not a pcap file)")
+	ErrTruncated = errors.New("pcap: truncated file")
+)
+
+// Record is one captured packet: its capture timestamp and its bytes
+// starting at the IP header (LINKTYPE_RAW).
+type Record struct {
+	TS   time.Time
+	Data []byte
+}
+
+// Writer streams records to w in classic pcap format. Not safe for
+// concurrent use; the Capture sink adds the locking the live taps need.
+type Writer struct {
+	w   io.Writer
+	buf [recordHeaderLen]byte
+}
+
+// NewWriter writes the global header (nanosecond magic, version 2.4,
+// LINKTYPE_RAW, little-endian) and returns a Writer for the records.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [fileHeaderLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], MagicNano)
+	le.PutUint16(hdr[4:], 2) // version major
+	le.PutUint16(hdr[6:], 4) // version minor
+	// hdr[8:16]: thiszone and sigfigs, zero by convention.
+	le.PutUint32(hdr[16:], SnapLen)
+	le.PutUint32(hdr[20:], LinkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// WritePacket appends one record. The timestamp is split into Unix
+// seconds plus nanoseconds; data is written in full (callers never exceed
+// SnapLen, so incl_len == orig_len always).
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if len(data) > SnapLen {
+		return fmt.Errorf("pcap: packet of %d bytes exceeds snap length %d", len(data), SnapLen)
+	}
+	le := binary.LittleEndian
+	le.PutUint32(w.buf[0:], uint32(ts.Unix()))
+	le.PutUint32(w.buf[4:], uint32(ts.Nanosecond()))
+	le.PutUint32(w.buf[8:], uint32(len(data)))
+	le.PutUint32(w.buf[12:], uint32(len(data)))
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Reader iterates the records of a pcap stream in capture order.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nano     bool
+	snaplen  uint32
+	linkType uint32
+	buf      [recordHeaderLen]byte
+}
+
+// NewReader parses the global header, detecting byte order and timestamp
+// resolution from the magic. It returns ErrBadMagic for non-pcap input and
+// ErrTruncated for a header cut short.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [fileHeaderLen]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		if n == 0 && err == io.EOF {
+			return nil, fmt.Errorf("%w: empty input", ErrTruncated)
+		}
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return nil, fmt.Errorf("%w: file header is %d bytes, need %d", ErrTruncated, n, fileHeaderLen)
+		}
+		return nil, fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	rd := &Reader{r: r}
+	switch magic := binary.LittleEndian.Uint32(hdr[0:]); magic {
+	case MagicNano:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case MagicMicro:
+		rd.order, rd.nano = binary.LittleEndian, false
+	default:
+		switch magic := binary.BigEndian.Uint32(hdr[0:]); magic {
+		case MagicNano:
+			rd.order, rd.nano = binary.BigEndian, true
+		case MagicMicro:
+			rd.order, rd.nano = binary.BigEndian, false
+		default:
+			return nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, magic)
+		}
+	}
+	rd.snaplen = rd.order.Uint32(hdr[16:])
+	rd.linkType = rd.order.Uint32(hdr[20:])
+	return rd, nil
+}
+
+// LinkType returns the file's link type (LinkTypeRaw for this repo's own
+// captures).
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Next returns the next record, io.EOF at a clean end of stream, or
+// ErrTruncated if the stream ends inside a record. The returned Data is
+// freshly allocated and owned by the caller.
+func (r *Reader) Next() (Record, error) {
+	if n, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if n == 0 && err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return Record{}, fmt.Errorf("%w: record header cut at %d of %d bytes", ErrTruncated, n, recordHeaderLen)
+		}
+		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := r.buf[0:4]
+	frac := r.order.Uint32(r.buf[4:])
+	incl := r.order.Uint32(r.buf[8:])
+	if incl > maxRecordLen {
+		return Record{}, fmt.Errorf("pcap: record claims %d bytes captured (max %d): corrupt header", incl, maxRecordLen)
+	}
+	nsec := int64(frac)
+	if r.nano {
+		if frac >= 1e9 {
+			return Record{}, fmt.Errorf("pcap: record timestamp has %d nanoseconds: corrupt header", frac)
+		}
+	} else {
+		if frac >= 1e6 {
+			return Record{}, fmt.Errorf("pcap: record timestamp has %d microseconds: corrupt header", frac)
+		}
+		nsec *= 1000
+	}
+	data := make([]byte, int(incl))
+	if n, err := io.ReadFull(r.r, data); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return Record{}, fmt.Errorf("%w: record data cut at %d of %d bytes", ErrTruncated, n, incl)
+		}
+		return Record{}, fmt.Errorf("pcap: reading record data: %w", err)
+	}
+	return Record{
+		TS:   time.Unix(int64(r.order.Uint32(sec)), nsec),
+		Data: data,
+	}, nil
+}
+
+// ReadAll drains a stream into a slice of records.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadFile reads every record of the pcap file at path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}

@@ -1,0 +1,332 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// samplePackets are small but realistic LINKTYPE_RAW payloads: each starts
+// at the IPv4 version nibble, like every record the live taps produce.
+func samplePackets() [][]byte {
+	return [][]byte{
+		{0x45, 0x00, 0x00, 0x1c, 0x00, 0x01, 0x00, 0x00, 0x01, 0x11},
+		{0x45, 0x00, 0x00, 0x38, 0x12, 0x34, 0x00, 0x00, 0x40, 0x01, 0xde, 0xad},
+		{0x46},
+		{},
+	}
+}
+
+// writeSample builds an in-memory capture with known timestamps.
+func writeSample(t *testing.T) ([]byte, []Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 123456789)
+	var want []Record
+	for i, pkt := range samplePackets() {
+		ts := base.Add(time.Duration(i) * 1500 * time.Nanosecond)
+		if err := w.WritePacket(ts, pkt); err != nil {
+			t.Fatalf("WritePacket %d: %v", i, err)
+		}
+		want = append(want, Record{TS: ts, Data: append([]byte(nil), pkt...)})
+	}
+	return buf.Bytes(), want
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw, want := writeSample(t)
+	got, err := ReadAll(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].TS.Equal(want[i].TS) {
+			t.Errorf("record %d: ts %v, want %v (nanosecond magic must preserve full resolution)",
+				i, got[i].TS, want[i].TS)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("record %d: data %x, want %x", i, got[i].Data, want[i].Data)
+		}
+	}
+}
+
+// TestGoldenBytes pins the exact on-disk encoding: little-endian nanosecond
+// magic, version 2.4, LINKTYPE_RAW, and the 16-byte record header layout.
+// If this test breaks, existing corpus captures become unreadable.
+func TestGoldenBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(1700000000, 123456789), []byte{0x45, 0x00, 0x00, 0x04}); err != nil {
+		t.Fatal(err)
+	}
+	golden := []byte{
+		// file header
+		0x4d, 0x3c, 0xb2, 0xa1, // nanosecond magic, little-endian
+		0x02, 0x00, 0x04, 0x00, // version 2.4
+		0x00, 0x00, 0x00, 0x00, // thiszone
+		0x00, 0x00, 0x00, 0x00, // sigfigs
+		0xff, 0xff, 0x00, 0x00, // snaplen 65535
+		0x65, 0x00, 0x00, 0x00, // LINKTYPE_RAW = 101
+		// record header
+		0x00, 0xf1, 0x53, 0x65, // ts_sec 1700000000
+		0x15, 0xcd, 0x5b, 0x07, // ts_nsec 123456789
+		0x04, 0x00, 0x00, 0x00, // incl_len
+		0x04, 0x00, 0x00, 0x00, // orig_len
+		// record data
+		0x45, 0x00, 0x00, 0x04,
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("encoding drifted from the pinned format\ngot:  %x\nwant: %x", buf.Bytes(), golden)
+	}
+}
+
+func TestEmptyCaptureIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("header-only capture must read cleanly: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records from an empty capture", len(recs))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	junk := make([]byte, fileHeaderLen)
+	for i := range junk {
+		junk[i] = 0xee
+	}
+	if _, err := NewReader(bytes.NewReader(junk)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	raw, want := writeSample(t)
+	cuts := []struct {
+		name string
+		at   int
+	}{
+		{"empty-input", 0},
+		{"mid-file-header", 10},
+		{"mid-record-header", fileHeaderLen + 5},
+		{"mid-record-data", fileHeaderLen + recordHeaderLen + len(want[0].Data)/2},
+		{"second-record-header", fileHeaderLen + recordHeaderLen + len(want[0].Data) + 3},
+	}
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			recs, err := ReadAll(bytes.NewReader(raw[:c.at]))
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut at %d: got %v, want ErrTruncated", c.at, err)
+			}
+			// Records fully present before the cut still come back: a torn
+			// capture is readable up to the tear.
+			if c.at >= fileHeaderLen+recordHeaderLen+len(want[0].Data)+1 && len(recs) == 0 {
+				t.Fatalf("cut at %d: complete first record was not returned", c.at)
+			}
+		})
+	}
+}
+
+// TestForeignDialects hand-builds the three dialects the writer never emits
+// (big-endian nano, and microsecond resolution in both orders) and checks
+// the reader normalizes all of them.
+func TestForeignDialects(t *testing.T) {
+	build := func(order binary.ByteOrder, magic, frac uint32) []byte {
+		var buf bytes.Buffer
+		hdr := make([]byte, fileHeaderLen)
+		order.PutUint32(hdr[0:], magic)
+		order.PutUint16(hdr[4:], 2)
+		order.PutUint16(hdr[6:], 4)
+		order.PutUint32(hdr[16:], SnapLen)
+		order.PutUint32(hdr[20:], LinkTypeRaw)
+		buf.Write(hdr)
+		rec := make([]byte, recordHeaderLen)
+		order.PutUint32(rec[0:], 1)    // ts_sec
+		order.PutUint32(rec[4:], frac) // ts frac
+		order.PutUint32(rec[8:], 2)    // incl_len
+		order.PutUint32(rec[12:], 2)   // orig_len
+		buf.Write(rec)
+		buf.Write([]byte{0xde, 0xad})
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		raw    []byte
+		wantTS time.Time
+	}{
+		{"big-endian-nano", build(binary.BigEndian, MagicNano, 123456789), time.Unix(1, 123456789)},
+		{"little-endian-micro", build(binary.LittleEndian, MagicMicro, 500), time.Unix(1, 500000)},
+		{"big-endian-micro", build(binary.BigEndian, MagicMicro, 999999), time.Unix(1, 999999000)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rd, err := NewReader(bytes.NewReader(c.raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd.LinkType() != LinkTypeRaw {
+				t.Fatalf("link type %d, want %d", rd.LinkType(), LinkTypeRaw)
+			}
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rec.TS.Equal(c.wantTS) {
+				t.Errorf("ts %v, want %v", rec.TS, c.wantTS)
+			}
+			if !bytes.Equal(rec.Data, []byte{0xde, 0xad}) {
+				t.Errorf("data %x", rec.Data)
+			}
+			if _, err := rd.Next(); err != io.EOF {
+				t.Errorf("after last record: %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestCorruptHeadersRejected checks the reader refuses impossible record
+// headers (out-of-range timestamp fractions, absurd capture lengths)
+// instead of allocating or misparsing.
+func TestCorruptHeadersRejected(t *testing.T) {
+	forge := func(frac, incl uint32) []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		_ = w.WritePacket(time.Unix(1, 0), []byte{0x45})
+		raw := buf.Bytes()
+		binary.LittleEndian.PutUint32(raw[fileHeaderLen+4:], frac)
+		binary.LittleEndian.PutUint32(raw[fileHeaderLen+8:], incl)
+		return raw
+	}
+	if _, err := ReadAll(bytes.NewReader(forge(2_000_000_000, 1))); err == nil {
+		t.Error("2e9 nanoseconds accepted")
+	}
+	if _, err := ReadAll(bytes.NewReader(forge(0, maxRecordLen+1))); err == nil {
+		t.Error("oversized incl_len accepted")
+	}
+}
+
+func TestWriterRejectsOversizedPacket(t *testing.T) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(1, 0), make([]byte, SnapLen+1)); err == nil {
+		t.Fatal("packet above the snap length accepted")
+	}
+}
+
+func TestCaptureSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.pcap")
+	c, err := CreateCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty capture is installed immediately — a process killed before
+	// Close leaves a readable file, and a bad path fails before probing.
+	recs, err := ReadFile(path)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("freshly created capture: recs=%d err=%v, want an empty valid pcap", len(recs), err)
+	}
+
+	probe := []byte{0x45, 0x00, 0x00, 0x1c, 0x00, 0x01}
+	resp := []byte{0x45, 0x00, 0x00, 0x38, 0xaa, 0xbb}
+	t0 := time.Unix(1700000000, 111)
+	c.CaptureOutbound(t0, probe)
+	c.CaptureInbound(t0.Add(3*time.Millisecond), resp)
+	if c.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", c.Count())
+	}
+	// Nothing beyond the header hits disk before Close.
+	if recs, _ := ReadFile(path); len(recs) != 0 {
+		t.Fatalf("%d records on disk before Close", len(recs))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Records after Close are dropped, not appended to an installed file.
+	c.CaptureInbound(t0.Add(time.Second), resp)
+	if c.Count() != 2 {
+		t.Fatalf("Count grew to %d after Close", c.Count())
+	}
+
+	recs, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if !bytes.Equal(recs[0].Data, probe) || !bytes.Equal(recs[1].Data, resp) {
+		t.Fatal("record bytes do not match the captured packets")
+	}
+	if got := recs[1].TS.Sub(recs[0].TS); got != 3*time.Millisecond {
+		t.Fatalf("timestamp delta %v, want 3ms", got)
+	}
+	// The atomic install leaves no temp droppings next to the capture.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("capture dir holds %d entries, want just the pcap", len(entries))
+	}
+}
+
+func TestCreateCaptureBadPath(t *testing.T) {
+	if _, err := CreateCapture(filepath.Join(t.TempDir(), "no", "such", "dir", "x.pcap")); err == nil {
+		t.Fatal("unwritable capture path accepted")
+	}
+}
+
+// FuzzReadPcap asserts the reader never panics and never over-allocates on
+// arbitrary input — capture files cross trust boundaries (anyone can hand
+// one to -replay).
+func FuzzReadPcap(f *testing.F) {
+	raw, _ := func() ([]byte, []Record) {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		_ = w.WritePacket(time.Unix(1700000000, 42), []byte{0x45, 0x00, 0x00, 0x1c})
+		_ = w.WritePacket(time.Unix(1700000001, 7), []byte{0x45, 0x00})
+		return buf.Bytes(), nil
+	}()
+	f.Add(raw)
+	for _, cut := range []int{0, 3, fileHeaderLen, fileHeaderLen + 9, len(raw) - 1} {
+		f.Add(raw[:cut])
+	}
+	junk := append([]byte(nil), raw...)
+	junk[0] ^= 0xff
+	f.Add(junk)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		for _, r := range recs {
+			if len(r.Data) > maxRecordLen {
+				t.Fatalf("record of %d bytes escaped the allocation bound", len(r.Data))
+			}
+		}
+		if err == nil && len(data) < fileHeaderLen {
+			t.Fatalf("accepted a %d-byte input as a pcap file", len(data))
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package flowkey computes the quoted-flow-identifier keys that route a
+// raw-socket response back to the probe it answers. It is the one shared
+// definition of the attribution rule: the live transport and mux register
+// in-flight probes under these keys, and the replay transport re-binds a
+// captured campaign's responses with the same logic so offline replays
+// attribute identically to the original run.
+//
+// The key is the Paris invariant the paper builds on (Section 2.1): an ICMP
+// error quotes the offending probe's IP header plus at least its first
+// eight transport octets, and those first transport octets are exactly
+// where every discipline keeps its flow identifier and its per-probe
+// identifier (UDP ports and checksum; ICMP type/code/checksum/id/seq; TCP
+// ports and sequence number). A probe therefore registers under the flow
+// identifier of its own bytes — inner source, destination, protocol, IP ID,
+// and the first eight transport octets — and an ICMP error is matched by
+// extracting the same tuple from its quoted packet. Fields routers mutate
+// in flight (the quoted TTL, which the paper's Fig. 4 shows arriving as 0
+// or 1, and the IP checksum that follows it) are deliberately excluded, as
+// is the outer source address, which NAT boxes rewrite (Fig. 5).
+//
+// Terminal responses carry no quote, so they match on what the destination
+// echoes back instead: Echo Replies return the request's identifier and
+// sequence number, and TCP RST/SYN-ACK segments return the probe's ports
+// (swapped) and its sequence number acknowledged. When several in-flight
+// probes share a terminal key (tcptraceroute sends a constant sequence
+// number), responses resolve to the oldest unanswered probe — the FIFO
+// rule — which is the only ambiguity the quoted-header invariant cannot
+// remove (pinned by the replay suite's reordered-TCP regression test).
+package flowkey
+
+import (
+	"repro/internal/packet"
+)
+
+// Key identifies the probe a response answers. Kind keeps the three
+// namespaces (quoted errors, echo replies, TCP segments) disjoint. The
+// struct is comparable and used directly as a map key.
+type Key struct {
+	Kind  uint8
+	Src   [4]byte // probe source (inner header for quoted errors)
+	Dst   [4]byte // probe destination (zero where rewriting makes it unsafe)
+	Proto uint8
+	IPID  uint16  // probe IP ID as quoted; 0 in terminal namespaces
+	T     [8]byte // transport octets: quoted first 8 / echo id+seq / ports+ack
+}
+
+// The three key namespaces.
+const (
+	KindQuoted uint8 = iota + 1
+	KindEcho
+	KindTCP
+)
+
+// first8 copies up to eight transport octets, zero-padding the rest (RFC
+// 792 guarantees eight for quoted probes; defensive for shorter captures).
+func first8(b []byte) (t [8]byte) {
+	copy(t[:], b)
+	return t
+}
+
+// ProbeKeys derives the keys a serialized probe registers under: always the
+// quoted-error key, plus a terminal key for disciplines whose destination
+// answers in-protocol. Returns ok=false for packets that are not parseable
+// IPv4 probes.
+func ProbeKeys(probe []byte) (quoted Key, terminal Key, hasTerminal, ok bool) {
+	var h packet.IPv4
+	payload, err := packet.ParseIPv4Into(probe, &h)
+	if err != nil {
+		return Key{}, Key{}, false, false
+	}
+	quoted = Key{
+		Kind:  KindQuoted,
+		Src:   h.Src.As4(),
+		Dst:   h.Dst.As4(),
+		Proto: h.Protocol,
+		IPID:  h.ID,
+		T:     first8(payload),
+	}
+	switch h.Protocol {
+	case packet.ProtoICMP:
+		var m packet.ICMP
+		if err := packet.ParseICMPInto(payload, &m); err == nil && m.Type == packet.ICMPTypeEchoRequest {
+			k := Key{Kind: KindEcho, Src: h.Src.As4(), Proto: packet.ProtoICMP}
+			put16(k.T[0:], m.ID)
+			put16(k.T[2:], m.Seq)
+			return quoted, k, true, true
+		}
+	case packet.ProtoTCP:
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(payload, &th); err == nil {
+			k := Key{Kind: KindTCP, Src: h.Src.As4(), Proto: packet.ProtoTCP}
+			put16(k.T[0:], th.SrcPort)
+			put16(k.T[2:], th.DstPort)
+			put32(k.T[4:], th.Seq+1) // RST and SYN-ACK acknowledge seq+1
+			return quoted, k, true, true
+		}
+	}
+	return quoted, Key{}, false, true
+}
+
+// RespKey classifies an inbound packet and computes the single key it
+// matches under. ok=false means the packet cannot answer any probe
+// (unparseable, an unrelated ICMP type, our own outbound probe looped back
+// by the capture path) and must be dropped.
+func RespKey(resp []byte) (Key, bool) {
+	var h packet.IPv4
+	payload, err := packet.ParseIPv4Into(resp, &h)
+	if err != nil {
+		return Key{}, false
+	}
+	switch h.Protocol {
+	case packet.ProtoICMP:
+		var m packet.ICMP
+		if err := packet.ParseICMPInto(payload, &m); err != nil {
+			return Key{}, false
+		}
+		if m.IsError() {
+			var inner packet.IPv4
+			quotedTransport, err := packet.ParseIPv4Into(m.Payload, &inner)
+			if err != nil {
+				return Key{}, false
+			}
+			return Key{
+				Kind:  KindQuoted,
+				Src:   inner.Src.As4(),
+				Dst:   inner.Dst.As4(),
+				Proto: inner.Protocol,
+				IPID:  inner.ID,
+				T:     first8(quotedTransport),
+			}, true
+		}
+		if m.Type == packet.ICMPTypeEchoReply {
+			// The reply's destination is the probe's source; the reply's
+			// source may have been rewritten, so it stays out of the key.
+			k := Key{Kind: KindEcho, Src: h.Dst.As4(), Proto: packet.ProtoICMP}
+			put16(k.T[0:], m.ID)
+			put16(k.T[2:], m.Seq)
+			return k, true
+		}
+		return Key{}, false
+	case packet.ProtoTCP:
+		var th packet.TCP
+		if _, _, err := packet.ParseTCPInto(payload, &th); err != nil {
+			return Key{}, false
+		}
+		if th.Flags&(packet.TCPRst|packet.TCPSyn) == 0 {
+			return Key{}, false
+		}
+		// Swap the ports back into probe orientation.
+		k := Key{Kind: KindTCP, Src: h.Dst.As4(), Proto: packet.ProtoTCP}
+		put16(k.T[0:], th.DstPort)
+		put16(k.T[2:], th.SrcPort)
+		put32(k.T[4:], th.Ack)
+		return k, true
+	default:
+		return Key{}, false
+	}
+}
+
+func put16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -16,7 +16,7 @@ import (
 
 // Fault-injection tests for the wheel's error paths: transient syscall
 // failures on send (ENOBUFS, EINTR), fatal socket errors, cancellation,
-// and the jittered retransmit backoff. Everything runs over the fakeConn
+// and the jittered retransmit backoff. Everything runs over the SimConn
 // (no sleeps: the fake fast-forwards the wheel) and is -race clean.
 
 var _ tracer.FallibleTransport = (*Transport)(nil)
@@ -33,8 +33,8 @@ func TestLiveTransientSendFaultDeferred(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tp, fake, dest := newFakeTransport(t, scenarios[1].build, seed, fakeSchedule{}, 0)
-	fake.writeErr = func(call, n int) (int, error) {
+	tp, fake, dest := newFakeTransport(t, scenarios[1].build, seed, SimSchedule{}, 0)
+	fake.WriteErr = func(call, n int) (int, error) {
 		if call == 0 {
 			return n / 2, syscall.ENOBUFS // kernel buffers filled mid-batch
 		}
@@ -56,8 +56,8 @@ func TestLiveTransientSendFaultDeferred(t *testing.T) {
 // EINTR gets exactly maxSendDefers free re-offers per probe, then degrades
 // to the attempt-burning path and stars out — bounded work, no livelock.
 func TestLiveTransientSendFaultExhausted(t *testing.T) {
-	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5, fakeSchedule{}, 0)
-	fake.writeErr = func(call, n int) (int, error) { return 0, syscall.EINTR }
+	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5, SimSchedule{}, 0)
+	fake.WriteErr = func(call, n int) (int, error) { return 0, syscall.EINTR }
 	got, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true}).Trace(dest)
 	if err != nil {
 		t.Fatal(err)
@@ -84,8 +84,8 @@ func TestLiveTransientSendFaultExhausted(t *testing.T) {
 // probe with the error — not silently star it — and the sequential engine
 // sees it through ExchangeErr.
 func TestLiveFatalSendErrSurfaced(t *testing.T) {
-	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5, fakeSchedule{}, 0)
-	fake.writeErr = func(call, n int) (int, error) { return 0, errors.New("device down") }
+	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5, SimSchedule{}, 0)
+	fake.WriteErr = func(call, n int) (int, error) { return 0, errors.New("device down") }
 	_, err := tracer.NewParisUDP(tp, tracer.Options{}).Trace(dest)
 	if err == nil {
 		t.Fatal("trace over a dead send path returned a route")
@@ -99,8 +99,8 @@ func TestLiveFatalSendErrSurfaced(t *testing.T) {
 // the in-flight probes with the wrapped error.
 func TestLiveReceiveErrorSurfaced(t *testing.T) {
 	net2, dest := scenarios[1].build(5)
-	fake := &fakeConn{}
-	fake.respond = func(probe []byte) ([]byte, bool) {
+	fake := &SimConn{}
+	fake.Respond = func(probe []byte) ([]byte, bool) {
 		fake.closed = true // the socket dies after the send
 		return nil, false
 	}
@@ -125,7 +125,7 @@ func TestLiveContextCancel(t *testing.T) {
 		net2, dest := scenarios[1].build(5)
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		fake := &fakeConn{respond: netsimResponder(net2)}
+		fake := &SimConn{Respond: netsimResponder(net2)}
 		tp, err := New(Config{Source: net2.Source(), Conn: fake, Context: ctx})
 		if err != nil {
 			t.Fatal(err)
@@ -139,8 +139,8 @@ func TestLiveContextCancel(t *testing.T) {
 		net2, dest := scenarios[1].build(5)
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		fake := &fakeConn{}
-		fake.respond = func(probe []byte) ([]byte, bool) {
+		fake := &SimConn{}
+		fake.Respond = func(probe []byte) ([]byte, bool) {
 			cancel() // arrives while the wheel still owes a response
 			return nil, false
 		}
@@ -169,9 +169,9 @@ func TestLiveRetryBackoffRoute(t *testing.T) {
 
 	net2, dest := scenarios[1].build(seed)
 	seen := make(map[string]bool)
-	fake := &fakeConn{
-		respond: netsimResponder(net2),
-		sched: fakeSchedule{drop: func(_ int, probe []byte) bool {
+	fake := &SimConn{
+		Respond: netsimResponder(net2),
+		Sched: SimSchedule{Drop: func(_ int, probe []byte) bool {
 			if seen[string(probe)] {
 				return false
 			}
@@ -209,7 +209,7 @@ func TestLiveRetryBackoffRoute(t *testing.T) {
 // within [0.5, 1.5) of the base, capped at the timeout.
 func TestRetryDelayDeterministic(t *testing.T) {
 	mk := func() *Transport {
-		fake := &fakeConn{}
+		fake := &SimConn{}
 		tp, err := New(Config{
 			Source:       netip.AddrFrom4([4]byte{192, 0, 2, 9}),
 			Conn:         fake,
@@ -243,7 +243,7 @@ func TestRetryDelayDeterministic(t *testing.T) {
 		prev = da
 	}
 	// A different source draws a different jitter stream.
-	fake := &fakeConn{}
+	fake := &SimConn{}
 	c, err := New(Config{
 		Source: netip.AddrFrom4([4]byte{192, 0, 2, 10}), Conn: fake,
 		Timeout: 2 * time.Second, RetryBackoff: 100 * time.Millisecond,
@@ -261,7 +261,7 @@ func TestRetryDelayDeterministic(t *testing.T) {
 // exchange.
 func TestLiveResultSlotErrReset(t *testing.T) {
 	net2, dest := scenarios[1].build(5)
-	fake := &fakeConn{respond: netsimResponder(net2)}
+	fake := &SimConn{Respond: netsimResponder(net2)}
 	tp, err := New(Config{Source: net2.Source(), Conn: fake})
 	if err != nil {
 		t.Fatal(err)
@@ -269,7 +269,7 @@ func TestLiveResultSlotErrReset(t *testing.T) {
 	probe := buildProbe(t, net2.Source(), dest)
 
 	fail := true
-	fake.writeErr = func(call, n int) (int, error) {
+	fake.WriteErr = func(call, n int) (int, error) {
 		if fail {
 			return 0, errors.New("device down")
 		}

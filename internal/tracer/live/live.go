@@ -92,6 +92,13 @@ type Config struct {
 	Conn PacketConn
 	// MTU sizes receive buffers. Zero selects 1500.
 	MTU int
+	// Capture, when non-nil, receives every probe this transport injects
+	// and every datagram it reads back — pre-dedup, so duplicates,
+	// retransmits, and unrelated junk are recorded too (pcap.Capture is
+	// the standard sink). While a capture is armed the transport stamps
+	// wall-clock times, making the capture's timestamps authoritative for
+	// offline replay: a replayed RTT equals the original to the nanosecond.
+	Capture CaptureSink
 }
 
 // Transport implements tracer.Transport and tracer.BatchTransport over a
@@ -107,6 +114,7 @@ type Transport struct {
 	backoff time.Duration
 	ctx     context.Context
 	mtu     int
+	capture CaptureSink
 
 	mu   sync.Mutex
 	conn PacketConn
@@ -176,6 +184,7 @@ func New(cfg Config) (*Transport, error) {
 		backoff: cfg.RetryBackoff,
 		ctx:     cfg.Context,
 		mtu:     cfg.MTU,
+		capture: cfg.Capture,
 		conn:    conn,
 		rng:     uint64(a[0])<<24 | uint64(a[1])<<16 | uint64(a[2])<<8 | uint64(a[3]),
 		byKey:   make(map[matchKey][]int),
@@ -235,7 +244,7 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 	if unresolved == 0 {
 		return
 	}
-	t.sendPending(time.Now(), func(s *slot) bool { return s.attempts == 0 })
+	t.sendPending(t.now(), func(s *slot) bool { return s.attempts == 0 })
 
 	for unresolved > 0 {
 		if t.ctx != nil {
@@ -259,7 +268,15 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 			continue
 		}
 		m, err := t.conn.ReadBatch(t.recv)
-		now := time.Now()
+		now := t.now()
+		// The tap sees every datagram before demultiplexing: junk and
+		// duplicates are part of the captured traffic, stamped with the
+		// same clock reading the RTTs below use.
+		if t.capture != nil {
+			for i := 0; i < m; i++ {
+				t.capture.CaptureInbound(now, t.recv[i].Buf[:t.recv[i].N])
+			}
+		}
 		// Consume whatever arrived before acting on any error: a read can
 		// legitimately return datagrams alongside a failure (one socket
 		// delivered, the other broke) and those responses are real.
@@ -301,6 +318,18 @@ func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 // exchange, so cancellation latency is this quantum rather than Timeout.
 const ctxPollQuantum = 100 * time.Millisecond
 
+// now is the wheel's clock. With a capture sink armed it strips the
+// monotonic reading, so an RTT (the difference of two of these stamps)
+// equals the difference of the corresponding capture timestamps exactly —
+// the byte-identity contract replay depends on. Without a capture the
+// monotonic clock stays, immune to wall-clock steps.
+func (t *Transport) now() time.Time {
+	if t.capture == nil {
+		return time.Now()
+	}
+	return time.Now().Round(0)
+}
+
 // register parses every probe into its wheel slot and key-table entries,
 // resets the result slots, and returns how many probes are in flight.
 // Unparseable probes resolve as immediate stars.
@@ -323,7 +352,7 @@ func (t *Transport) register(probes [][]byte, out []tracer.ProbeResult) int {
 			s.resolved = true
 			continue
 		}
-		s.dst = quoted.dst
+		s.dst = quoted.Dst
 		s.quoted, s.terminal, s.hasTerminal = quoted, terminal, hasTerminal
 		t.byKey[quoted] = append(t.byKey[quoted], i)
 		if hasTerminal {
@@ -369,6 +398,17 @@ func (t *Transport) sendPending(now time.Time, pick func(*slot) bool) {
 	}
 	if len(t.send) == 0 {
 		return
+	}
+	// Record before the write, not after: the conn may deliver a response
+	// (and the reader capture it) the instant WriteBatch enqueues the
+	// probe, and the capture must never show an answer preceding its
+	// probe. The cost is that a failed send is still recorded — replay
+	// classifies the unanswered occurrence as a star or folds it into the
+	// eventual re-send.
+	if t.capture != nil {
+		for _, dg := range t.send {
+			t.capture.CaptureOutbound(now, dg.Buf)
+		}
 	}
 	sent, err := t.conn.WriteBatch(t.send)
 	for k, i := range idxs {

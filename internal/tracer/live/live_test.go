@@ -12,7 +12,7 @@ import (
 
 // The differential harness: the same probing engine is run once against the
 // simulator transport (the baseline) and once against the live transport
-// over a fakeConn whose responder replays a second, identically-built
+// over a SimConn whose responder replays a second, identically-built
 // netsim.Network — so every byte the live path receives is a genuine
 // simulator response, and the two routes must agree on every path
 // observable (tracer.Route.Equal: everything but RTTs and IP IDs, which
@@ -73,12 +73,12 @@ func netsimResponder(net *netsim.Network) func([]byte) ([]byte, bool) {
 	}
 }
 
-// newFakeTransport builds a live Transport over a fakeConn backed by a
+// newFakeTransport builds a live Transport over a SimConn backed by a
 // fresh copy of the scenario.
-func newFakeTransport(t *testing.T, build func(int64) (*netsim.Network, netip.Addr), seed int64, sched fakeSchedule, retries int) (*Transport, *fakeConn, netip.Addr) {
+func newFakeTransport(t *testing.T, build func(int64) (*netsim.Network, netip.Addr), seed int64, sched SimSchedule, retries int) (*Transport, *SimConn, netip.Addr) {
 	t.Helper()
 	net, dest := build(seed)
-	fake := &fakeConn{respond: netsimResponder(net), sched: sched}
+	fake := &SimConn{Respond: netsimResponder(net), Sched: sched}
 	tp, err := New(Config{Source: net.Source(), Conn: fake, Retries: retries})
 	if err != nil {
 		t.Fatal(err)
@@ -95,29 +95,29 @@ func TestLiveDifferentialAgainstNetsim(t *testing.T) {
 	const seed = 7
 	schedules := []struct {
 		name    string
-		sched   func() fakeSchedule
+		sched   func() SimSchedule
 		retries int
 		// perturbsOrder: the schedule changes arrival order across
 		// response kinds, which indistinct-terminal disciplines cannot
 		// survive exactly (see methods).
 		perturbsOrder bool
 	}{
-		{"clean", func() fakeSchedule { return fakeSchedule{} }, 0, false},
-		{"reorder", func() fakeSchedule { return fakeSchedule{reorder: true} }, 0, true},
-		{"duplicate", func() fakeSchedule {
-			return fakeSchedule{dup: func(int) bool { return true }}
+		{"clean", func() SimSchedule { return SimSchedule{} }, 0, false},
+		{"reorder", func() SimSchedule { return SimSchedule{Reorder: true} }, 0, true},
+		{"duplicate", func() SimSchedule {
+			return SimSchedule{Dup: func(int) bool { return true }}
 		}, 0, false},
-		{"delay-half", func() fakeSchedule {
-			return fakeSchedule{delay: func(ord int) int {
+		{"delay-half", func() SimSchedule {
+			return SimSchedule{Delay: func(ord int) int {
 				if ord%2 == 0 {
 					return 2
 				}
 				return 0
 			}}
 		}, 0, true},
-		{"drop-first-attempt+retry", func() fakeSchedule {
+		{"drop-first-attempt+retry", func() SimSchedule {
 			seen := make(map[string]bool)
-			return fakeSchedule{drop: func(_ int, probe []byte) bool {
+			return SimSchedule{Drop: func(_ int, probe []byte) bool {
 				if seen[string(probe)] {
 					return false
 				}
@@ -165,7 +165,7 @@ func TestLiveSequentialExchange(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, fakeSchedule{}, 0)
+		tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, SimSchedule{}, 0)
 		got, err := m.mk(tp, tracer.Options{}).Trace(dest)
 		if err != nil {
 			t.Fatal(err)
@@ -189,7 +189,7 @@ func TestLiveSilentHopStar(t *testing.T) {
 
 	net2, dest := scenarios[1].build(seed)
 	inner := netsimResponder(net2)
-	fake := &fakeConn{respond: func(probe []byte) ([]byte, bool) {
+	fake := &SimConn{Respond: func(probe []byte) ([]byte, bool) {
 		var h packet.IPv4
 		if _, err := packet.ParseIPv4Into(probe, &h); err == nil && int(h.TTL) == silentTTL {
 			// The router still saw and dropped the probe; only the
@@ -230,7 +230,7 @@ func TestLiveSilentHopStar(t *testing.T) {
 func TestLiveRetriesExhausted(t *testing.T) {
 	const retries = 2
 	tp, fake, dest := newFakeTransport(t, scenarios[1].build, 5,
-		fakeSchedule{drop: func(int, []byte) bool { return true }}, retries)
+		SimSchedule{Drop: func(int, []byte) bool { return true }}, retries)
 	got, err := tracer.NewParisUDP(tp, tracer.Options{Batch: true}).Trace(dest)
 	if err != nil {
 		t.Fatal(err)
@@ -267,8 +267,8 @@ func TestLiveUnrelatedTrafficIgnored(t *testing.T) {
 	net2, dest := scenarios[1].build(seed)
 	inner := netsimResponder(net2)
 	junkQuote := buildJunkError(t)
-	fake := &fakeConn{}
-	fake.respond = func(probe []byte) ([]byte, bool) {
+	fake := &SimConn{}
+	fake.Respond = func(probe []byte) ([]byte, bool) {
 		resp, ok := inner(probe)
 		// Sandwich every genuine response between junk deliveries.
 		fake.queue = append(fake.queue,
@@ -326,7 +326,7 @@ func buildJunkError(t *testing.T) []byte {
 func TestLiveScratchReuse(t *testing.T) {
 	const seed = 17
 	sc := tracer.NewScratch()
-	tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, fakeSchedule{}, 0)
+	tp, _, dest := newFakeTransport(t, scenarios[1].build, seed, SimSchedule{}, 0)
 	opts := tracer.Options{Batch: true, Scratch: sc}
 	first, err := tracer.NewParisUDP(tp, opts).Trace(dest)
 	if err != nil {

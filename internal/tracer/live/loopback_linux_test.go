@@ -4,11 +4,15 @@ package live
 
 import (
 	"net/netip"
+	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/pcap"
 	"repro/internal/tracer"
+	"repro/internal/tracer/replay"
 )
 
 // TestLiveLoopback exercises the real raw-socket path end to end where the
@@ -65,8 +69,16 @@ func TestLiveLoopback(t *testing.T) {
 // stack on Linux, so eight workers' interleaved Paris UDP ladders — one raw
 // ICMP+TCP socket pair for the whole campaign — must each resolve to a
 // single port-unreachable hop answering as the probed address. This is the
-// privileged end-to-end check of the attribution path the hermetic fakeConn
+// privileged end-to-end check of the attribution path the hermetic SimConn
 // tests exercise in miniature.
+//
+// The whole campaign runs with a pcap capture tap armed, and the capture is
+// then replayed in-job: the offline run must reproduce every live route
+// exactly (addresses, kinds, and RTTs — replay RTTs are differences of the
+// same clock readings the mux charged) and consume every captured exchange.
+// This closes the loop the hermetic tests can only approximate: real
+// kernel-generated responses through a real raw socket pair, recorded,
+// re-served, and byte-compared.
 func TestLiveMuxLoopback(t *testing.T) {
 	if err := Available(); err != nil {
 		t.Skipf("raw sockets unavailable: %v", err)
@@ -76,20 +88,31 @@ func TestLiveMuxLoopback(t *testing.T) {
 	for i := byte(1); i <= 8; i++ {
 		dests = append(dests, netip.AddrFrom4([4]byte{127, 0, 0, i}))
 	}
+	capPath := filepath.Join(t.TempDir(), "loopback.pcap")
+	capSink, err := pcap.CreateCapture(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := NewMux(MuxConfig{
 		Source:  netip.AddrFrom4([4]byte{127, 0, 0, 1}),
 		Timeout: 2 * time.Second, Retries: 1,
+		Capture: capSink,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
 
-	camp, err := measure.NewCampaign(nil, measure.Config{
-		Dests: dests, Rounds: rounds, Workers: workers,
-		MinTTL: 1, PortSeed: 42, Batch: true,
-		TransportFor: func(int) tracer.Transport { return m.Transport() },
-	})
+	// One config for both runs: the replayed campaign must be configured
+	// identically to the captured one or replay fails loudly by design.
+	campaignConfig := func(tpFor func(int) tracer.Transport) measure.Config {
+		return measure.Config{
+			Dests: dests, Rounds: rounds, Workers: workers,
+			MinTTL: 1, PortSeed: 42, Batch: true,
+			TransportFor: tpFor,
+		}
+	}
+	camp, err := measure.NewCampaign(nil, campaignConfig(func(int) tracer.Transport { return m.Transport() }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,5 +137,53 @@ func TestLiveMuxLoopback(t *testing.T) {
 	}
 	if h.Destinations == 0 {
 		t.Errorf("no destination collected an RTT sample: %+v", h)
+	}
+
+	// Close the mux (stops feeding the tap) and install the capture, then
+	// re-run the identical campaign from the file alone.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := capSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := replay.Open(capPath, replay.Config{Retries: 1})
+	if err != nil {
+		t.Fatalf("replaying the loopback capture: %v", err)
+	}
+	rcamp, err := measure.NewCampaign(nil, campaignConfig(func(int) tracer.Transport { return rt }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := rcamp.Run()
+	if err != nil {
+		t.Fatalf("replayed campaign: %v", err)
+	}
+	if len(rres.Rounds) != len(res.Rounds) {
+		t.Fatalf("replay produced %d rounds, live run %d", len(rres.Rounds), len(res.Rounds))
+	}
+	for r := range res.Rounds {
+		if len(rres.Rounds[r]) != len(res.Rounds[r]) {
+			t.Fatalf("round %d: replay holds %d pairs, live run %d", r, len(rres.Rounds[r]), len(res.Rounds[r]))
+		}
+		for i, lp := range res.Rounds[r] {
+			rp := rres.Rounds[r][i]
+			if rp.Dest != lp.Dest {
+				t.Fatalf("round %d pair %d: replay dest %v, live %v", r, i, rp.Dest, lp.Dest)
+			}
+			// Full-fidelity comparison: addresses, kinds, TTL observables,
+			// and RTTs must all survive the trip through the pcap.
+			if !reflect.DeepEqual(rp.Classic, lp.Classic) {
+				t.Errorf("round %d dest %v: replayed classic route differs\nlive:   %+v\nreplay: %+v",
+					r, lp.Dest, lp.Classic, rp.Classic)
+			}
+			if !reflect.DeepEqual(rp.Paris, lp.Paris) {
+				t.Errorf("round %d dest %v: replayed Paris route differs\nlive:   %+v\nreplay: %+v",
+					r, lp.Dest, lp.Paris, rp.Paris)
+			}
+		}
+	}
+	if l := rt.Leftover(); l != 0 {
+		t.Errorf("%d captured exchange(s) never served — the replayed campaign under-consumed the capture", l)
 	}
 }

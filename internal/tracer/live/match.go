@@ -1,164 +1,33 @@
 package live
 
 import (
-	"repro/internal/packet"
+	"repro/internal/tracer/flowkey"
 )
 
 // Response demultiplexing. A live transport shares one pair of raw receive
 // sockets among every probe of a batch (and with every other ICMP/TCP
 // conversation the host is having), so each inbound packet must be routed
 // back to the in-flight probe it answers — or discarded as unrelated
-// traffic — before the tracer's strict per-discipline matching ever sees it.
-//
-// The key is the Paris invariant the paper builds on (Section 2.1): an ICMP
-// error quotes the offending probe's IP header plus at least its first
-// eight transport octets, and those first transport octets are exactly
-// where every discipline keeps its flow identifier and its per-probe
-// identifier (UDP ports and checksum; ICMP type/code/checksum/id/seq; TCP
-// ports and sequence number). A probe therefore registers under the flow
-// identifier of its own bytes — inner source, destination, protocol, IP ID,
-// and the first eight transport octets — and an ICMP error is matched by
-// extracting the same tuple from its quoted packet. Fields routers mutate
-// in flight (the quoted TTL, which the paper's Fig. 4 shows arriving as 0
-// or 1, and the IP checksum that follows it) are deliberately excluded, as
-// is the outer source address, which NAT boxes rewrite (Fig. 5).
-//
-// Terminal responses carry no quote, so they match on what the destination
-// echoes back instead: Echo Replies return the request's identifier and
-// sequence number, and TCP RST/SYN-ACK segments return the probe's ports
-// (swapped) and its sequence number acknowledged. When several in-flight
-// probes share a terminal key (tcptraceroute sends a constant sequence
-// number), responses resolve to the oldest unanswered probe — the FIFO rule
-// — which is the only ambiguity the quoted-header invariant cannot remove.
+// traffic — before the tracer's strict per-discipline matching ever sees
+// it. The key derivation lives in internal/tracer/flowkey (shared with the
+// replay transport, which must attribute a captured campaign's responses
+// with the exact same rule); this file binds it under the names the
+// transport and mux use. See the flowkey package doc for the attribution
+// contract — the Paris quoted-header invariant, the terminal-key
+// namespaces, and the oldest-unanswered FIFO rule for shared TCP keys.
 
-// matchKey identifies the probe a response answers. kind keeps the three
-// namespaces (quoted errors, echo replies, TCP segments) disjoint.
-type matchKey struct {
-	kind  uint8
-	src   [4]byte // probe source (inner header for quoted errors)
-	dst   [4]byte // probe destination (zero where rewriting makes it unsafe)
-	proto uint8
-	ipid  uint16  // probe IP ID as quoted; 0 in terminal namespaces
-	t     [8]byte // transport octets: quoted first 8 / echo id+seq / ports+ack
-}
-
-const (
-	keyQuoted uint8 = iota + 1
-	keyEcho
-	keyTCP
-)
-
-// first8 copies up to eight transport octets, zero-padding the rest (RFC
-// 792 guarantees eight for quoted probes; defensive for shorter captures).
-func first8(b []byte) (t [8]byte) {
-	copy(t[:], b)
-	return t
-}
+// matchKey identifies the probe a response answers.
+type matchKey = flowkey.Key
 
 // probeKeys derives the keys a serialized probe registers under: always the
 // quoted-error key, plus a terminal key for disciplines whose destination
-// answers in-protocol. Returns ok=false for packets that are not parseable
-// IPv4 probes.
+// answers in-protocol.
 func probeKeys(probe []byte) (quoted matchKey, terminal matchKey, hasTerminal, ok bool) {
-	var h packet.IPv4
-	payload, err := packet.ParseIPv4Into(probe, &h)
-	if err != nil {
-		return matchKey{}, matchKey{}, false, false
-	}
-	quoted = matchKey{
-		kind:  keyQuoted,
-		src:   h.Src.As4(),
-		dst:   h.Dst.As4(),
-		proto: h.Protocol,
-		ipid:  h.ID,
-		t:     first8(payload),
-	}
-	switch h.Protocol {
-	case packet.ProtoICMP:
-		var m packet.ICMP
-		if err := packet.ParseICMPInto(payload, &m); err == nil && m.Type == packet.ICMPTypeEchoRequest {
-			k := matchKey{kind: keyEcho, src: h.Src.As4(), proto: packet.ProtoICMP}
-			put16key(k.t[0:], m.ID)
-			put16key(k.t[2:], m.Seq)
-			return quoted, k, true, true
-		}
-	case packet.ProtoTCP:
-		var th packet.TCP
-		if _, _, err := packet.ParseTCPInto(payload, &th); err == nil {
-			k := matchKey{kind: keyTCP, src: h.Src.As4(), proto: packet.ProtoTCP}
-			put16key(k.t[0:], th.SrcPort)
-			put16key(k.t[2:], th.DstPort)
-			put32key(k.t[4:], th.Seq+1) // RST and SYN-ACK acknowledge seq+1
-			return quoted, k, true, true
-		}
-	}
-	return quoted, matchKey{}, false, true
+	return flowkey.ProbeKeys(probe)
 }
 
 // respKey classifies an inbound packet and computes the single key it
-// matches under. ok=false means the packet cannot answer any probe
-// (unparseable, an unrelated ICMP type, our own outbound probe looped back
-// by the capture path) and must be dropped.
+// matches under.
 func respKey(resp []byte) (matchKey, bool) {
-	var h packet.IPv4
-	payload, err := packet.ParseIPv4Into(resp, &h)
-	if err != nil {
-		return matchKey{}, false
-	}
-	switch h.Protocol {
-	case packet.ProtoICMP:
-		var m packet.ICMP
-		if err := packet.ParseICMPInto(payload, &m); err != nil {
-			return matchKey{}, false
-		}
-		if m.IsError() {
-			var inner packet.IPv4
-			quotedTransport, err := packet.ParseIPv4Into(m.Payload, &inner)
-			if err != nil {
-				return matchKey{}, false
-			}
-			return matchKey{
-				kind:  keyQuoted,
-				src:   inner.Src.As4(),
-				dst:   inner.Dst.As4(),
-				proto: inner.Protocol,
-				ipid:  inner.ID,
-				t:     first8(quotedTransport),
-			}, true
-		}
-		if m.Type == packet.ICMPTypeEchoReply {
-			// The reply's destination is the probe's source; the reply's
-			// source may have been rewritten, so it stays out of the key.
-			k := matchKey{kind: keyEcho, src: h.Dst.As4(), proto: packet.ProtoICMP}
-			put16key(k.t[0:], m.ID)
-			put16key(k.t[2:], m.Seq)
-			return k, true
-		}
-		return matchKey{}, false
-	case packet.ProtoTCP:
-		var th packet.TCP
-		if _, _, err := packet.ParseTCPInto(payload, &th); err != nil {
-			return matchKey{}, false
-		}
-		if th.Flags&(packet.TCPRst|packet.TCPSyn) == 0 {
-			return matchKey{}, false
-		}
-		// Swap the ports back into probe orientation.
-		k := matchKey{kind: keyTCP, src: h.Dst.As4(), proto: packet.ProtoTCP}
-		put16key(k.t[0:], th.DstPort)
-		put16key(k.t[2:], th.SrcPort)
-		put32key(k.t[4:], th.Ack)
-		return k, true
-	default:
-		return matchKey{}, false
-	}
-}
-
-func put16key(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
-
-func put32key(b []byte, v uint32) {
-	b[0] = byte(v >> 24)
-	b[1] = byte(v >> 16)
-	b[2] = byte(v >> 8)
-	b[3] = byte(v)
+	return flowkey.RespKey(resp)
 }

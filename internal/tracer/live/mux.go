@@ -89,6 +89,14 @@ type MuxConfig struct {
 	OnPressure func(tracer.MuxHealth)
 	// Sleep replaces time.Sleep for redial backoff; tests inject a no-op.
 	Sleep func(time.Duration)
+	// Capture, when non-nil, receives every probe any worker's batch
+	// injects and every datagram the receive loop reads — pre-dedup, so
+	// duplicates, retransmits, reopen re-sends, and unrelated junk are
+	// recorded too (pcap.Capture is the standard sink; it must be safe
+	// for concurrent use). While a capture is armed the mux stamps
+	// wall-clock times, making the capture's timestamps authoritative
+	// for offline replay.
+	Capture CaptureSink
 }
 
 // Mux is the shared demultiplexer. Create with NewMux, hand each worker a
@@ -105,6 +113,7 @@ type Mux struct {
 	redial     func() (PacketConn, error)
 	onPressure func(tracer.MuxHealth)
 	sleepFn    func(time.Duration)
+	capture    CaptureSink // immutable after NewMux; loop reads without mu
 
 	mu   sync.Mutex
 	cond *sync.Cond // registration/close wake-up for the idle loop
@@ -236,6 +245,7 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 		redial:     redial,
 		onPressure: cfg.OnPressure,
 		sleepFn:    sleep,
+		capture:    cfg.Capture,
 		conn:       conn,
 		byKey:      make(map[matchKey][]slotRef),
 		batches:    make(map[*muxBatch]struct{}),
@@ -388,7 +398,7 @@ func (m *Mux) exchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 			s.resolved = true // unparseable: an immediate star
 			continue
 		}
-		s.dst = quoted.dst
+		s.dst = quoted.Dst
 		s.quoted, s.terminal, s.hasTerminal = quoted, terminal, hasTerminal
 		s.registered = true
 		m.byKey[quoted] = append(m.byKey[quoted], slotRef{b, i})
@@ -412,7 +422,7 @@ func (m *Mux) exchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 			refs = append(refs, slotRef{b, i})
 		}
 	}
-	m.sendRefsLocked(time.Now(), refs, false)
+	m.sendRefsLocked(m.now(), refs, false)
 	// Wake an idle loop; if it is instead blocked in a read armed at a
 	// later deadline than this batch's earliest, nudge the conn.
 	m.cond.Broadcast()
@@ -437,6 +447,18 @@ func (m *Mux) exchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
 		m.failBatch(b, m.ctx.Err())
 		<-b.done
 	}
+}
+
+// now is the mux's clock. With a capture sink armed it strips the
+// monotonic reading, so an RTT (the difference of two of these stamps)
+// equals the difference of the corresponding capture timestamps exactly —
+// the byte-identity contract replay depends on. Without a capture the
+// monotonic clock stays, immune to wall-clock steps.
+func (m *Mux) now() time.Time {
+	if m.capture == nil {
+		return time.Now()
+	}
+	return time.Now().Round(0)
 }
 
 // fatalLocked returns the error new exchanges must fail with, if any.
@@ -481,7 +503,17 @@ func (m *Mux) loop() {
 		if rerr == nil {
 			n, rerr = conn.ReadBatch(m.recv)
 		}
-		now := time.Now()
+		now := m.now()
+		// The tap sees every datagram before demultiplexing, stamped with
+		// the same clock reading the RTTs below use. Safe without mu: a
+		// probe's outbound record always precedes its response's arrival
+		// (sends are recorded before the conn ever sees them), and the
+		// sink locks internally.
+		if m.capture != nil {
+			for i := 0; i < n; i++ {
+				m.capture.CaptureInbound(now, m.recv[i].Buf[:m.recv[i].N])
+			}
+		}
 
 		m.mu.Lock()
 		m.armed = time.Time{}
@@ -700,6 +732,17 @@ func (m *Mux) sendRefsLocked(now time.Time, refs []slotRef, reopen bool) {
 		s := &ref.b.slots[ref.i]
 		m.send = append(m.send, Datagram{Buf: s.probe, Dst: s.dst})
 	}
+	// Record before the write, not after: the conn may deliver a response
+	// (and the reader loop capture it) the instant WriteBatch enqueues
+	// the probe, and the capture must never show an answer preceding its
+	// probe. The cost is that a send the kernel rejects is still
+	// recorded; replay folds the unanswered occurrence into the eventual
+	// re-send or serves it as a star.
+	if m.capture != nil {
+		for _, dg := range m.send {
+			m.capture.CaptureOutbound(now, dg.Buf)
+		}
+	}
 	sent, err := m.conn.WriteBatch(m.send)
 	for k, ref := range refs {
 		s := &ref.b.slots[ref.i]
@@ -828,7 +871,7 @@ func (m *Mux) reopenLocked(cause error) {
 		if err == nil {
 			m.conn = c
 			m.reopens++
-			m.resendAllLocked(time.Now())
+			m.resendAllLocked(m.now())
 			return
 		}
 		if attempt == m.maxReopens {

@@ -17,7 +17,7 @@ import (
 
 // The mux differential harness extends the per-batch one (live_test.go) to
 // the shared demultiplexer: N workers trace disjoint destination slices
-// concurrently through ONE Mux over ONE fakeConn, and every route must be
+// concurrently through ONE Mux over ONE SimConn, and every route must be
 // identical (tracer.Route.Equal) to a sequential baseline over an
 // identically-built network. The topologies are schedule-free — responses
 // are pure functions of the probe bytes — so worker interleaving cannot
@@ -29,7 +29,7 @@ var (
 	_ tracer.Transport         = (*MuxTransport)(nil)
 	_ tracer.BatchTransport    = (*MuxTransport)(nil)
 	_ tracer.FallibleTransport = (*MuxTransport)(nil)
-	_ DropCounter              = (*fakeConn)(nil)
+	_ DropCounter              = (*SimConn)(nil)
 )
 
 // muxTopo generates a schedule-free multi-destination topology: per-probe
@@ -104,25 +104,25 @@ func TestMuxMultiWorkerDifferential(t *testing.T) {
 	const seed, workers, dests = 21, 8, 16
 	schedules := []struct {
 		name    string
-		sched   func() fakeSchedule
+		sched   func() SimSchedule
 		retries int
 	}{
-		{"clean", func() fakeSchedule { return fakeSchedule{} }, 0},
-		{"reorder", func() fakeSchedule { return fakeSchedule{reorder: true} }, 0},
-		{"duplicate", func() fakeSchedule {
-			return fakeSchedule{dup: func(int) bool { return true }}
+		{"clean", func() SimSchedule { return SimSchedule{} }, 0},
+		{"reorder", func() SimSchedule { return SimSchedule{Reorder: true} }, 0},
+		{"duplicate", func() SimSchedule {
+			return SimSchedule{Dup: func(int) bool { return true }}
 		}, 0},
-		{"delay-half", func() fakeSchedule {
-			return fakeSchedule{delay: func(ord int) int {
+		{"delay-half", func() SimSchedule {
+			return SimSchedule{Delay: func(ord int) int {
 				if ord%2 == 0 {
 					return 2
 				}
 				return 0
 			}}
 		}, 0},
-		{"drop-first-attempt+retry", func() fakeSchedule {
+		{"drop-first-attempt+retry", func() SimSchedule {
 			seen := make(map[string]bool)
-			return fakeSchedule{drop: func(_ int, probe []byte) bool {
+			return SimSchedule{Drop: func(_ int, probe []byte) bool {
 				if seen[string(probe)] {
 					return false
 				}
@@ -134,7 +134,7 @@ func TestMuxMultiWorkerDifferential(t *testing.T) {
 	want := muxBaseline(t, muxTopo(t, dests, seed))
 	for _, sch := range schedules {
 		sc := muxTopo(t, dests, seed)
-		fake := &fakeConn{respond: netsimResponder(sc.Net), sched: sch.sched()}
+		fake := &SimConn{Respond: netsimResponder(sc.Net), Sched: sch.sched()}
 		m, err := NewMux(MuxConfig{Source: sc.Net.Source(), Conn: fake, Retries: sch.retries})
 		if err != nil {
 			t.Fatalf("%s: NewMux: %v", sch.name, err)
@@ -184,7 +184,7 @@ func TestMuxCampaignDifferential(t *testing.T) {
 	}
 
 	sc2 := muxTopo(t, dests, seed)
-	fake := &fakeConn{respond: netsimResponder(sc2.Net)}
+	fake := &SimConn{Respond: netsimResponder(sc2.Net)}
 	m, err := NewMux(MuxConfig{Source: sc2.Net.Source(), Conn: fake, Retries: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -225,8 +225,8 @@ func TestMuxSocketFailureRecovery(t *testing.T) {
 	want := muxBaseline(t, muxTopo(t, dests, seed))
 	sc := muxTopo(t, dests, seed)
 	responder := netsimResponder(sc.Net)
-	fake1 := &fakeConn{respond: responder}
-	fake1.readErr = func(call int) error {
+	fake1 := &SimConn{Respond: responder}
+	fake1.ReadErr = func(call int) error {
 		if call == 0 {
 			return errors.New("fake: network down")
 		}
@@ -235,7 +235,7 @@ func TestMuxSocketFailureRecovery(t *testing.T) {
 	var (
 		mu      sync.Mutex
 		redials int
-		conns   []*fakeConn
+		conns   []*SimConn
 	)
 	m, err := NewMux(MuxConfig{
 		Source: sc.Net.Source(), Conn: fake1,
@@ -243,7 +243,7 @@ func TestMuxSocketFailureRecovery(t *testing.T) {
 			mu.Lock()
 			defer mu.Unlock()
 			redials++
-			c := &fakeConn{respond: responder}
+			c := &SimConn{Respond: responder}
 			conns = append(conns, c)
 			return c, nil
 		},
@@ -270,9 +270,9 @@ func TestMuxSocketFailureRecovery(t *testing.T) {
 	}
 	// Every probe the first conn accepted was re-sent on the replacement:
 	// the replacement saw at least as many sends as were stranded.
-	if fake1.sendCount() == 0 || conns[0].sendCount() < fake1.sendCount() {
+	if fake1.SendCount() == 0 || conns[0].SendCount() < fake1.SendCount() {
 		t.Errorf("sends: old conn %d, new conn %d — stranded probes were not all re-sent",
-			fake1.sendCount(), conns[0].sendCount())
+			fake1.SendCount(), conns[0].SendCount())
 	}
 }
 
@@ -282,8 +282,8 @@ func TestMuxSocketFailureRecovery(t *testing.T) {
 // itself broken, and subsequent exchanges must fail fast.
 func TestMuxReopenExhaustion(t *testing.T) {
 	sc := muxTopo(t, 2, 31)
-	fake := &fakeConn{respond: netsimResponder(sc.Net)}
-	fake.readErr = func(int) error { return errors.New("fake: persistent failure") }
+	fake := &SimConn{Respond: netsimResponder(sc.Net)}
+	fake.ReadErr = func(int) error { return errors.New("fake: persistent failure") }
 	m, err := NewMux(MuxConfig{
 		Source: sc.Net.Source(), Conn: fake,
 		Redial:     func() (PacketConn, error) { return nil, errors.New("fake: redial refused") },
@@ -315,7 +315,7 @@ func TestMuxLifecycleNoGoroutineLeak(t *testing.T) {
 	src := netip.AddrFrom4([4]byte{192, 0, 2, 1})
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
-		fake := &fakeConn{respond: func([]byte) ([]byte, bool) { return nil, false }}
+		fake := &SimConn{Respond: func([]byte) ([]byte, bool) { return nil, false }}
 		m, err := NewMux(MuxConfig{Source: src, Conn: fake})
 		if err != nil {
 			t.Fatal(err)
@@ -350,9 +350,9 @@ func TestMuxLifecycleNoGoroutineLeak(t *testing.T) {
 func TestMuxPressureStateMachine(t *testing.T) {
 	m := &Mux{timeout: 2 * time.Second, floor: 100 * time.Millisecond,
 		est: make(map[[4]byte]*rttEstimator)}
-	conn := &fakeConn{}
+	conn := &SimConn{}
 
-	conn.setKernelDrops(10)
+	conn.SetKernelDrops(10)
 	if !m.pressureLocked(conn) {
 		t.Fatal("first kernel-drop increase did not change the degrade level")
 	}
@@ -362,7 +362,7 @@ func TestMuxPressureStateMachine(t *testing.T) {
 	// Drops keep climbing: one level per turn, saturating at the cap,
 	// events counted past it.
 	for i := 0; i < 5; i++ {
-		conn.setKernelDrops(uint64(20 + i*10))
+		conn.SetKernelDrops(uint64(20 + i*10))
 		m.pressureLocked(conn)
 	}
 	if m.degrade != maxDegradeShift {
@@ -394,10 +394,10 @@ func TestMuxPressureStateMachine(t *testing.T) {
 // outside the lock with a consistent health snapshot.
 func TestMuxPressureCallback(t *testing.T) {
 	sc := muxTopo(t, 2, 37)
-	fake := &fakeConn{}
+	fake := &SimConn{}
 	inner := netsimResponder(sc.Net)
-	fake.respond = func(probe []byte) ([]byte, bool) {
-		fake.kdrops += 3 // fake.mu is held by WriteBatch here
+	fake.Respond = func(probe []byte) ([]byte, bool) {
+		fake.KDrops += 3 // fake.mu is held by WriteBatch here
 		return inner(probe)
 	}
 	var (
@@ -446,7 +446,7 @@ func TestMuxPressureCallback(t *testing.T) {
 func TestMuxAdaptiveTimeoutClamps(t *testing.T) {
 	const floor, cap = 50 * time.Millisecond, time.Second
 	sc := muxTopo(t, 4, 41)
-	fake := &fakeConn{respond: netsimResponder(sc.Net)}
+	fake := &SimConn{Respond: netsimResponder(sc.Net)}
 	m, err := NewMux(MuxConfig{Source: sc.Net.Source(), Conn: fake,
 		Timeout: cap, TimeoutFloor: floor})
 	if err != nil {
@@ -470,8 +470,8 @@ func TestMuxAdaptiveTimeoutClamps(t *testing.T) {
 	// receive a sample.
 	sc2 := muxTopo(t, 4, 41)
 	seen := make(map[string]bool)
-	fake2 := &fakeConn{respond: netsimResponder(sc2.Net),
-		sched: fakeSchedule{drop: func(_ int, probe []byte) bool {
+	fake2 := &SimConn{Respond: netsimResponder(sc2.Net),
+		Sched: SimSchedule{Drop: func(_ int, probe []byte) bool {
 			if seen[string(probe)] {
 				return false
 			}
@@ -498,8 +498,8 @@ func TestMuxAdaptiveTimeoutClamps(t *testing.T) {
 func TestMuxRetriesExhausted(t *testing.T) {
 	const retries = 2
 	sc := muxTopo(t, 1, 43)
-	fake := &fakeConn{respond: netsimResponder(sc.Net),
-		sched: fakeSchedule{drop: func(int, []byte) bool { return true }}}
+	fake := &SimConn{Respond: netsimResponder(sc.Net),
+		Sched: SimSchedule{Drop: func(int, []byte) bool { return true }}}
 	m, err := NewMux(MuxConfig{Source: sc.Net.Source(), Conn: fake, Retries: retries})
 	if err != nil {
 		t.Fatal(err)
@@ -514,7 +514,7 @@ func TestMuxRetriesExhausted(t *testing.T) {
 	if got.Halt != tracer.HaltStars {
 		t.Fatalf("halt = %v, want stars", got.Halt)
 	}
-	if want := 8 * (1 + retries); fake.sendCount() != want {
-		t.Errorf("sent %d probes, want %d (8 probes x %d attempts)", fake.sendCount(), want, 1+retries)
+	if want := 8 * (1 + retries); fake.SendCount() != want {
+		t.Errorf("sent %d probes, want %d (8 probes x %d attempts)", fake.SendCount(), want, 1+retries)
 	}
 }

@@ -6,23 +6,27 @@ import (
 	"time"
 )
 
-// fakeConn is the in-process PacketConn the hermetic tests drive the live
-// transport with: every sent probe is answered by the responder (typically
-// a second, identical netsim.Network replaying exactly the responses the
-// simulator transport would have produced), and the schedule injects the
-// pathologies a real network adds on top — reordering, duplication, loss,
-// and late arrival. ReadBatch returns ErrTimeout the moment nothing is
-// deliverable, which fast-forwards the transport's deadline wheel without
-// any real sleeping. All methods are safe for concurrent use, so the
-// shared mux's writer workers and reader loop can hit one fake at once
-// under -race.
-type fakeConn struct {
+// SimConn is the in-process PacketConn the hermetic tests and the replay
+// corpus generator drive the live transport with: every sent probe is
+// answered by the responder (typically a second, identical netsim.Network
+// replaying exactly the responses the simulator transport would have
+// produced), and the schedule injects the pathologies a real network adds
+// on top — reordering, duplication, loss, and late arrival. ReadBatch
+// returns ErrTimeout the moment nothing is deliverable, which
+// fast-forwards the transport's deadline wheel without any real sleeping.
+// All methods are safe for concurrent use, so the shared mux's writer
+// workers and reader loop can hit one SimConn at once under -race.
+//
+// It lives in the non-test build so `go generate`-run tools can capture
+// hermetic campaigns through the real mux (see internal/tracer/replay/gen);
+// production binaries never construct one.
+type SimConn struct {
 	mu sync.Mutex
 
-	// respond produces the response for one sent probe; ok=false means the
+	// Respond produces the response for one sent probe; ok=false means the
 	// network stays silent (a star at the source of truth).
-	respond func(probe []byte) ([]byte, bool)
-	sched   fakeSchedule
+	Respond func(probe []byte) ([]byte, bool)
+	Sched   SimSchedule
 
 	seq    int // send ordinal, counted across the conn's lifetime
 	queue  [][]byte
@@ -33,41 +37,41 @@ type fakeConn struct {
 	// attempt-count assertions.
 	sends [][]byte
 
-	// writeErr, when set, can fail a WriteBatch: it receives the call
+	// WriteErr, when set, can fail a WriteBatch: it receives the call
 	// ordinal (counted per WriteBatch invocation) and the datagram count,
 	// and returns how many datagrams actually made it out plus the error
 	// for the rest. Returning (len, nil) leaves the call untouched.
-	writeErr   func(call, n int) (int, error)
+	WriteErr   func(call, n int) (int, error)
 	writeCalls int
 
-	// readErr, when set, can fail a ReadBatch with a fatal socket error:
+	// ReadErr, when set, can fail a ReadBatch with a fatal socket error:
 	// it receives the call ordinal (counted per ReadBatch invocation) and
 	// returns nil to leave the call untouched. The mux treats any
 	// non-ErrTimeout read failure as a dead socket and reopens.
-	readErr   func(call int) error
+	ReadErr   func(call int) error
 	readCalls int
 
-	// kdrops, when nonzero, is reported by KernelDrops — the fake's
+	// KDrops, when nonzero, is reported by KernelDrops — the fake's
 	// SO_RXQ_OVFL seam for receive-pressure tests.
-	kdrops uint64
+	KDrops uint64
 }
 
-// fakeSchedule scripts the fault injection, keyed by send ordinal (the
+// SimSchedule scripts the fault injection, keyed by send ordinal (the
 // running index of WriteBatch datagrams, retries included) and the probe
 // bytes themselves.
-type fakeSchedule struct {
-	// drop discards the response to this send (the probe still reaches the
+type SimSchedule struct {
+	// Drop discards the response to this send (the probe still reaches the
 	// responder — the exchange happened, only the answer is lost).
-	drop func(ord int, probe []byte) bool
-	// dup delivers the response twice.
-	dup func(ord int) bool
-	// delay withholds the response for n ReadBatch calls; it models late
+	Drop func(ord int, probe []byte) bool
+	// Dup delivers the response twice.
+	Dup func(ord int) bool
+	// Delay withholds the response for n ReadBatch calls; it models late
 	// arrival within the probe's deadline (loss past the deadline is what
-	// drop is for), so held responses are still delivered before ReadBatch
+	// Drop is for), so held responses are still delivered before ReadBatch
 	// ever reports a timeout.
-	delay func(ord int) int
-	// reorder delivers newest-first instead of oldest-first.
-	reorder bool
+	Delay func(ord int) int
+	// Reorder delivers newest-first instead of oldest-first.
+	Reorder bool
 }
 
 type heldResp struct {
@@ -75,17 +79,17 @@ type heldResp struct {
 	pkt   []byte
 }
 
-func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
+func (c *SimConn) WriteBatch(dgs []Datagram) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return 0, errors.New("fake: closed")
 	}
 	limit, werr := len(dgs), error(nil)
-	if c.writeErr != nil {
+	if c.WriteErr != nil {
 		call := c.writeCalls
 		c.writeCalls++
-		if s, err := c.writeErr(call, len(dgs)); err != nil {
+		if s, err := c.WriteErr(call, len(dgs)); err != nil {
 			limit, werr = s, err
 		}
 	}
@@ -94,20 +98,20 @@ func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
 		c.seq++
 		probe := append([]byte(nil), dg.Buf...)
 		c.sends = append(c.sends, probe)
-		resp, ok := c.respond(probe)
+		resp, ok := c.Respond(probe)
 		if !ok {
 			continue
 		}
-		if c.sched.drop != nil && c.sched.drop(ord, probe) {
+		if c.Sched.Drop != nil && c.Sched.Drop(ord, probe) {
 			continue
 		}
 		n := 1
-		if c.sched.dup != nil && c.sched.dup(ord) {
+		if c.Sched.Dup != nil && c.Sched.Dup(ord) {
 			n = 2
 		}
 		d := 0
-		if c.sched.delay != nil {
-			d = c.sched.delay(ord)
+		if c.Sched.Delay != nil {
+			d = c.Sched.Delay(ord)
 		}
 		for ; n > 0; n-- {
 			if d > 0 {
@@ -120,16 +124,16 @@ func (c *fakeConn) WriteBatch(dgs []Datagram) (int, error) {
 	return limit, werr
 }
 
-func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
+func (c *SimConn) ReadBatch(dgs []Datagram) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return 0, errors.New("fake: closed")
 	}
-	if c.readErr != nil {
+	if c.ReadErr != nil {
 		call := c.readCalls
 		c.readCalls++
-		if err := c.readErr(call); err != nil {
+		if err := c.ReadErr(call); err != nil {
 			return 0, err
 		}
 	}
@@ -157,7 +161,7 @@ func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
 	filled := 0
 	for filled < len(dgs) && len(c.queue) > 0 {
 		var pkt []byte
-		if c.sched.reorder {
+		if c.Sched.Reorder {
 			pkt = c.queue[len(c.queue)-1]
 			c.queue = c.queue[:len(c.queue)-1]
 		} else {
@@ -171,9 +175,9 @@ func (c *fakeConn) ReadBatch(dgs []Datagram) (int, error) {
 	return filled, nil
 }
 
-func (c *fakeConn) SetReadDeadline(time.Time) error { return nil }
+func (c *SimConn) SetReadDeadline(time.Time) error { return nil }
 
-func (c *fakeConn) Close() error {
+func (c *SimConn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
@@ -181,21 +185,21 @@ func (c *fakeConn) Close() error {
 }
 
 // KernelDrops implements DropCounter for receive-pressure tests.
-func (c *fakeConn) KernelDrops() uint64 {
+func (c *SimConn) KernelDrops() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.kdrops
+	return c.KDrops
 }
 
-// setKernelDrops bumps the fake's cumulative kernel-drop counter.
-func (c *fakeConn) setKernelDrops(v uint64) {
+// SetKernelDrops bumps the fake's cumulative kernel-drop counter.
+func (c *SimConn) SetKernelDrops(v uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.kdrops = v
+	c.KDrops = v
 }
 
-// sendCount returns how many probes have hit the wire so far.
-func (c *fakeConn) sendCount() int {
+// SendCount returns how many probes have hit the wire so far.
+func (c *SimConn) SendCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.sends)

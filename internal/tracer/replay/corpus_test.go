@@ -1,0 +1,63 @@
+package replay_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tracer"
+	"repro/internal/tracer/replay"
+)
+
+// TestCorpus replays every committed capture under testdata/corpus against
+// its pinned golden. This is the repository's hermetic regression net for
+// the whole record/replay path: no network, no privileges, no timers —
+// just the pcap bytes, the flow-key attribution, and the measurement
+// pipeline. A failure means replay semantics drifted from what the
+// captures were taken under (or the stats/route encodings changed — in
+// which case regenerate with go generate ./internal/tracer/replay and
+// review the diff).
+func TestCorpus(t *testing.T) {
+	pcaps, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcaps) == 0 {
+		t.Fatal("no corpus captures found — run go generate ./internal/tracer/replay")
+	}
+	for _, path := range pcaps {
+		base := strings.TrimSuffix(path, ".pcap")
+		t.Run(filepath.Base(base), func(t *testing.T) {
+			raw, err := os.ReadFile(base + ".json")
+			if err != nil {
+				t.Fatalf("corpus capture has no spec sidecar: %v", err)
+			}
+			var spec replay.Spec
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				t.Fatalf("spec: %v", err)
+			}
+			golden, err := os.ReadFile(base + ".golden.json")
+			if err != nil {
+				t.Fatalf("corpus capture has no golden: %v", err)
+			}
+
+			rt, err := replay.Open(path, replay.Config{Retries: spec.Retries})
+			if err != nil {
+				t.Fatalf("loading capture: %v", err)
+			}
+			got, err := replay.RunSpec(spec, func(int) tracer.Transport { return rt })
+			if err != nil {
+				t.Fatalf("replaying: %v", err)
+			}
+			if !bytes.Equal(got, golden) {
+				t.Errorf("replayed output diverges from pinned golden\ngot:\n%s\nwant:\n%s", got, golden)
+			}
+			if l := rt.Leftover(); l != 0 {
+				t.Errorf("%d captured exchanges never served — replay under-consumed the capture", l)
+			}
+		})
+	}
+}

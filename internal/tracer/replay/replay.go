@@ -1,0 +1,419 @@
+// Package replay re-serves a captured campaign's traffic as a
+// tracer.Transport: probes are answered from a pcap file instead of the
+// network, so a live (or simulated) study re-runs offline — no sockets, no
+// privileges, no re-probing anyone — and, when the replayed campaign is
+// configured identically to the captured one, reproduces its routes and
+// statistics byte for byte.
+//
+// # How a capture becomes a transport
+//
+// A capture (written by the live layer's pcap tap) is a single
+// LINKTYPE_RAW stream holding both directions. Loading classifies each
+// record structurally: a packet is outbound iff its source address is the
+// capture's source AND it is probe-shaped — a UDP datagram, an ICMP Echo
+// Request, or a TCP segment with SYN set and ACK/RST clear; every
+// response shape the tracer knows (ICMP errors, Echo Replies, TCP
+// RST/SYN-ACK) fails that test, so the split is exact for every capture
+// the fake conn generates and for UDP campaigns on real sockets. (The one
+// ambiguity: hosts whose raw sockets deliver their own outbound ICMP/TCP
+// probes back — loopback captures of echo or SYN disciplines — record
+// each probe twice; see docs/replay.md.)
+//
+// Consecutive identical outbound occurrences of one flow key fold into a
+// single exchange while the transmission count stays within the captured
+// campaign's retry budget (Config.Retries): that is precisely a
+// retransmit, and like the live wheel, replay charges the response's RTT
+// against the latest transmission (Karn's rule sees the same samples).
+// One more identical occurrence than the budget allows is the next
+// round's probe: the open exchange closes as a star and a new one begins
+// — valid because each destination is probed by one worker, sequentially.
+//
+// Responses bind to the oldest unanswered exchange under the same
+// quoted-flow-identifier keys the live mux uses (internal/tracer/flowkey)
+// — including the oldest-unanswered FIFO rule for tcptraceroute's
+// constant-sequence probes — so replay attribution is the live
+// attribution. Unbindable records count as junk, exactly as the live
+// demultiplexer discarded them.
+//
+// # The virtual clock
+//
+// Replay never sleeps. A captured star (an exchange with no bound
+// response) is served as an immediate ok=false, and RTTs are differences
+// of capture timestamps — the live layer stamps captures with the same
+// clock readings its own RTTs use, so a replayed RTT equals the original
+// to the nanosecond. Timeouts therefore "elapse" instantly: a full
+// campaign that took minutes of wall-clock waiting replays in
+// milliseconds with identical statistics.
+//
+// # Divergence is loud
+//
+// Exchange requests are matched strictly: a probe whose flow key has no
+// remaining captured exchange, or whose bytes differ from the captured
+// probe, fails with a fatal (non-transient) error naming the flow — the
+// replayed campaign was configured differently from the captured one
+// (destinations, rounds, port seed, method, retry budget), and silently
+// serving wrong traffic would corrupt the study. Leftover reports
+// captured exchanges the replayed run never consumed, the other half of
+// the same check.
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/tracer"
+	"repro/internal/tracer/flowkey"
+)
+
+// Config parameterizes how a capture is reconstructed.
+type Config struct {
+	// Retries is the captured campaign's per-probe re-send budget
+	// (live.Config.Retries / MuxConfig.Retries at capture time): up to
+	// 1+Retries consecutive identical occurrences of one flow key fold
+	// into a single exchange as retransmissions. Zero means every
+	// occurrence is its own exchange.
+	Retries int
+	// Timeout is the captured campaign's probe timeout: a response
+	// arriving more than Timeout after its probe's latest transmission is
+	// junk (the live wheel had already expired the probe). Zero selects
+	// 2s, the live default. Adaptive per-destination timeouts below the
+	// cap are not reconstructed; a response beating Timeout but not the
+	// original adaptive deadline replays as answered.
+	Timeout time.Duration
+}
+
+// exchange is one reconstructed probe conversation: 1+ transmissions of
+// identical probe bytes, and at most one bound response.
+type exchange struct {
+	probe  []byte
+	lastTS time.Time // latest transmission's capture timestamp
+	tx     int
+	run    int    // send run of the latest transmission (in-flight horizon)
+	resp   []byte // nil: a star
+	rtt    time.Duration
+	closed bool // superseded by a later exchange on its key (a star)
+	served bool
+}
+
+// queue is one quoted key's serve FIFO.
+type queue struct {
+	list []*exchange
+	head int
+}
+
+// Transport serves a loaded capture. It implements tracer.Transport,
+// tracer.BatchTransport, and tracer.FallibleTransport, and is safe for
+// concurrent use by campaign workers: flow keys embed the destination, and
+// each destination's exchanges are served in capture order regardless of
+// how traces interleave across workers.
+type Transport struct {
+	src  netip.Addr
+	keep Config
+
+	mu     sync.Mutex
+	serve  map[flowkey.Key]*queue
+	total  int // exchanges reconstructed
+	served int
+	junk   int // records bound to no exchange at load time
+	dests  []netip.Addr
+}
+
+// Open loads the pcap capture at path. See FromRecords for the errors.
+func Open(path string, cfg Config) (*Transport, error) {
+	recs, err := pcap.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromRecords(recs, cfg)
+}
+
+// FromRecords reconstructs a capture's exchanges from its records. It
+// fails on an empty capture or one whose first record is not a probe (a
+// capture written by the live tap always begins with a send).
+func FromRecords(recs []pcap.Record, cfg Config) (*Transport, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("replay: capture holds no records")
+	}
+	src, _, ok := probeShape(recs[0].Data)
+	if !ok {
+		return nil, fmt.Errorf("replay: capture does not begin with a probe: %s", describe(recs[0].Data))
+	}
+	t := &Transport{
+		src:   netip.AddrFrom4(src),
+		keep:  cfg,
+		serve: make(map[flowkey.Key]*queue),
+	}
+
+	// bind holds each key's registration FIFO (quoted and terminal keys
+	// alike) for response attribution; last tracks the most recent
+	// exchange per quoted key for retransmit folding.
+	bind := make(map[flowkey.Key][]*exchange)
+	last := make(map[flowkey.Key]*exchange)
+	seenDst := make(map[[4]byte]bool)
+
+	// Send runs reconstruct the demultiplexer's in-flight horizon. Probe
+	// records arrive in contiguous bursts (one WriteBatch each — the live
+	// layer captures a batch's datagrams under its lock), and the engine
+	// driving a destination sends its next batch only after every probe of
+	// the previous one resolved — answered, or expired by the timeout
+	// wheel. A response can therefore only answer a probe from the burst
+	// in progress when it arrived; anything older the original run had
+	// already resolved. Terminal-key binding (echo replies, TCP segments
+	// — the keys that deliberately omit the destination address and so
+	// span traces) enforces this; quoted keys identify their probe exactly
+	// and need no horizon.
+	run := 0
+	inboundSince := true // first probe record opens run 1
+
+	for _, rec := range recs {
+		pkt := rec.Data
+		if psrc, pdst, isProbe := probeShape(pkt); isProbe && psrc == t.src.As4() {
+			if inboundSince {
+				run++
+				inboundSince = false
+			}
+			quoted, terminal, hasTerminal, ok := flowkey.ProbeKeys(pkt)
+			if !ok {
+				t.junk++
+				continue
+			}
+			if e := last[quoted]; e != nil && !e.closed && e.resp == nil {
+				if e.tx < 1+cfg.Retries && bytes.Equal(e.probe, pkt) {
+					// A retransmission: same exchange, later clock, and the
+					// exchange rejoins the in-flight horizon.
+					e.tx++
+					e.lastTS = rec.TS
+					e.run = run
+					continue
+				}
+				// The budget is spent (or the bytes changed): this is the
+				// next round's probe, and the open exchange was a star.
+				e.closed = true
+			}
+			e := &exchange{probe: append([]byte(nil), pkt...), lastTS: rec.TS, tx: 1, run: run}
+			last[quoted] = e
+			bind[quoted] = append(bind[quoted], e)
+			if hasTerminal {
+				bind[terminal] = append(bind[terminal], e)
+			}
+			q := t.serve[quoted]
+			if q == nil {
+				q = &queue{}
+				t.serve[quoted] = q
+			}
+			q.list = append(q.list, e)
+			t.total++
+			if !seenDst[pdst] {
+				seenDst[pdst] = true
+				t.dests = append(t.dests, netip.AddrFrom4(pdst))
+			}
+			continue
+		}
+		// Inbound: attribute by the same rule the live demultiplexer uses.
+		inboundSince = true
+		key, ok := flowkey.RespKey(pkt)
+		if !ok {
+			t.junk++ // unrelated traffic, exactly as the live layer dropped it
+			continue
+		}
+		bound := false
+		fifo := bind[key]
+		for i, e := range fifo {
+			if e.resp != nil || e.closed {
+				continue
+			}
+			if key.Kind != flowkey.KindQuoted && e.run != run {
+				// A terminal key spans traces, but this exchange's burst had
+				// fully resolved before the response arrived: the original
+				// demultiplexer had already expired it (a star), so it is
+				// not in flight to be credited.
+				continue
+			}
+			rtt := rec.TS.Sub(e.lastTS)
+			if rtt > cfg.Timeout {
+				// The wheel had expired this probe before the response
+				// arrived; the original run discarded it.
+				break
+			}
+			e.resp = append([]byte(nil), pkt...)
+			e.rtt = rtt
+			bind[key] = fifo[i:] // consumed prefix never binds again
+			bound = true
+			break
+		}
+		if !bound {
+			t.junk++ // duplicate, late, or someone else's conversation
+		}
+	}
+	return t, nil
+}
+
+// Source implements tracer.Transport: the captured campaign's source
+// address, inferred from the first probe.
+func (t *Transport) Source() netip.Addr { return t.src }
+
+// Destinations returns the captured probe destinations in first-seen
+// order — the -replay flag's fallback when no destination list is given.
+func (t *Transport) Destinations() []netip.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]netip.Addr(nil), t.dests...)
+}
+
+// Exchanges reports how many probe conversations the capture reconstructs.
+func (t *Transport) Exchanges() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Leftover reports captured exchanges not yet served — nonzero after a
+// replayed campaign means it probed less than the captured one did.
+func (t *Transport) Leftover() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - t.served
+}
+
+// Junk reports captured records that bound to no exchange at load time:
+// unrelated traffic, duplicates, and responses past the timeout — the
+// traffic the live demultiplexer also discarded.
+func (t *Transport) Junk() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.junk
+}
+
+// Exchange implements tracer.Transport. Mismatches degrade to stars; use
+// ExchangeErr (as the campaign's fault-aware engines do) to observe them.
+func (t *Transport) Exchange(probe []byte) ([]byte, time.Duration, bool) {
+	resp, rtt, ok, _ := t.ExchangeErr(probe)
+	return resp, rtt, ok
+}
+
+// ExchangeErr implements tracer.FallibleTransport: serve the next captured
+// exchange for this probe's flow key. The error is fatal (non-transient)
+// by design — a mismatch means the replayed campaign diverged from the
+// captured one, and retrying cannot help.
+func (t *Transport) ExchangeErr(probe []byte) ([]byte, time.Duration, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exchangeLocked(probe)
+}
+
+// ExchangeBatch implements tracer.BatchTransport with the append-truncate
+// refill contract.
+func (t *Transport) ExchangeBatch(probes [][]byte, out []tracer.ProbeResult) {
+	if len(out) < len(probes) {
+		panic("replay: ExchangeBatch result slice shorter than probe slice")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, p := range probes {
+		out[i].OK = false
+		out[i].RTT = 0
+		out[i].Err = nil
+		if out[i].Resp != nil {
+			out[i].Resp = out[i].Resp[:0]
+		}
+		resp, rtt, ok, err := t.exchangeLocked(p)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if !ok {
+			continue
+		}
+		out[i].Resp = append(out[i].Resp[:0], resp...)
+		out[i].RTT = rtt
+		out[i].OK = true
+	}
+}
+
+func (t *Transport) exchangeLocked(probe []byte) ([]byte, time.Duration, bool, error) {
+	quoted, _, _, ok := flowkey.ProbeKeys(probe)
+	if !ok {
+		return nil, 0, false, fmt.Errorf("replay: unparseable probe (%d bytes)", len(probe))
+	}
+	q := t.serve[quoted]
+	if q == nil || q.head >= len(q.list) {
+		return nil, 0, false, fmt.Errorf(
+			"replay: probe %s not in capture (flow already exhausted or never probed): the replayed campaign diverges from the captured one",
+			describe(probe))
+	}
+	e := q.list[q.head]
+	q.head++
+	if !bytes.Equal(e.probe, probe) {
+		return nil, 0, false, fmt.Errorf(
+			"replay: probe/capture mismatch for %s: captured %s with equal flow key but different bytes",
+			describe(probe), describe(e.probe))
+	}
+	e.served = true
+	t.served++
+	if e.resp == nil {
+		// A captured star: the virtual clock elapses the original timeout
+		// instantly.
+		return nil, 0, false, nil
+	}
+	return e.resp, e.rtt, true, nil
+}
+
+// probeShape reports whether pkt parses as a probe-shaped IPv4 packet — a
+// UDP datagram, an ICMP Echo Request, or a bare TCP SYN — and returns its
+// addresses. Every response shape the tracer handles fails this test.
+func probeShape(pkt []byte) (src, dst [4]byte, ok bool) {
+	var h packet.IPv4
+	payload, err := packet.ParseIPv4Into(pkt, &h)
+	if err != nil {
+		return src, dst, false
+	}
+	switch h.Protocol {
+	case packet.ProtoUDP:
+		ok = true
+	case packet.ProtoICMP:
+		var m packet.ICMP
+		ok = packet.ParseICMPInto(payload, &m) == nil && m.Type == packet.ICMPTypeEchoRequest
+	case packet.ProtoTCP:
+		var th packet.TCP
+		if _, _, perr := packet.ParseTCPInto(payload, &th); perr == nil {
+			ok = th.Flags&packet.TCPSyn != 0 && th.Flags&(packet.TCPAck|packet.TCPRst) == 0
+		}
+	}
+	if !ok {
+		return src, dst, false
+	}
+	return h.Src.As4(), h.Dst.As4(), true
+}
+
+// describe renders a packet's flow for error messages.
+func describe(pkt []byte) string {
+	var h packet.IPv4
+	payload, err := packet.ParseIPv4Into(pkt, &h)
+	if err != nil {
+		return fmt.Sprintf("<unparseable %d bytes>", len(pkt))
+	}
+	proto := fmt.Sprintf("proto %d", h.Protocol)
+	switch h.Protocol {
+	case packet.ProtoUDP:
+		proto = "udp"
+	case packet.ProtoICMP:
+		proto = "icmp"
+	case packet.ProtoTCP:
+		proto = "tcp"
+	}
+	extra := ""
+	if len(payload) >= 4 && (h.Protocol == packet.ProtoUDP || h.Protocol == packet.ProtoTCP) {
+		extra = fmt.Sprintf(" ports %d->%d",
+			uint16(payload[0])<<8|uint16(payload[1]),
+			uint16(payload[2])<<8|uint16(payload[3]))
+	}
+	return fmt.Sprintf("%s %v->%v ipid %d ttl %d%s", proto, h.Src, h.Dst, h.ID, h.TTL, extra)
+}
